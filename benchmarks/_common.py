@@ -1,0 +1,94 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every evaluation figure of the paper has a ``bench_*`` module here.  Each
+benchmark cell runs one (policy, system, load-grid) simulation exactly once
+(``benchmark.pedantic(rounds=1)``) -- a simulation *is* the workload being
+timed -- and deposits the measured response-time numbers both in
+``benchmark.extra_info`` and into a per-figure text table written under
+``benchmarks/results/``.
+
+Scaling knobs (environment variables):
+
+``REPRO_BENCH_ROUNDS``
+    Simulation rounds per cell (default 1200).  The paper uses 1e5; the
+    qualitative shape -- who wins, roughly by how much -- is stable far
+    below that, and EXPERIMENTS.md records the horizon used.
+``REPRO_BENCH_LOADS``
+    Comma-separated offered loads (default ``0.7,0.9,0.99``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import repro
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BENCH_ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "1200"))
+BENCH_LOADS = tuple(
+    float(x) for x in os.environ.get("REPRO_BENCH_LOADS", "0.7,0.9,0.99").split(",")
+)
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: Policies in the main-body figures (3 and 4).
+MAIN_POLICIES = ("scd", "twf", "jsq", "sed", "hjsq(2)", "hjiq", "hlsq")
+#: Policies in the appendix figures (6 and 7).
+EXTRA_POLICIES = ("scd", "jsq(2)", "jiq", "lsq", "wr")
+
+CONFIG = repro.ExperimentConfig(rounds=BENCH_ROUNDS, base_seed=BENCH_SEED)
+
+
+def run_policy_over_loads(policy: str, system: repro.SystemSpec) -> dict[float, dict]:
+    """Simulate one policy over the load grid; returns per-load summaries."""
+    out: dict[float, dict] = {}
+    for rho in BENCH_LOADS:
+        result = repro.run_simulation(policy, system, rho, CONFIG)
+        summary = result.summary()
+        summary["p_1e-3"] = float(
+            repro.tail_quantiles(result.histogram, (1e-3,))[1e-3]
+        )
+        out[rho] = summary
+    return out
+
+
+class FigureTable:
+    """Accumulates one figure's rows and writes them to results/ on close."""
+
+    def __init__(self, name: str, title: str, headers: list[str]) -> None:
+        self.name = name
+        self.title = title
+        self.headers = headers
+        self.rows: list[list[object]] = []
+
+    def add(self, *row: object) -> None:
+        self.rows.append(list(row))
+
+    def write(self) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        text = repro.format_table(
+            self.headers,
+            self.rows,
+            title=f"{self.title}\n(rounds/cell: {BENCH_ROUNDS}, "
+            f"loads: {BENCH_LOADS}, seed: {BENCH_SEED})",
+        )
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+
+def mean_response_rows(
+    table: FigureTable, system: repro.SystemSpec, policy: str, summaries
+) -> None:
+    """Standard row layout for the mean-response figures."""
+    for rho, summary in summaries.items():
+        table.add(
+            f"n{system.num_servers}/m{system.num_dispatchers}",
+            policy,
+            rho,
+            summary["mean"],
+            summary["p99"],
+            summary["p_1e-3"],
+        )

@@ -1,0 +1,87 @@
+"""Ablation: SCD's Eq. 18 estimator under asymmetric dispatcher traffic.
+
+The paper's evaluation splits arrivals evenly over the dispatchers, which
+is exactly the regime where ``a_est = m * a_d`` is unbiased per
+dispatcher.  Real entry points are rarely symmetric.  Here the same total
+load is split with increasing skew (dispatcher d's share proportional to
+``skew^d``), and SCD's scaled estimator is compared against the oracle.
+
+Expected shape: with mild skew the compensation argument (Eq. 19 holds in
+aggregate) keeps Eq. 18 close to the oracle and ahead of SED.  Extreme
+skew is a genuine limitation of Eq. 18: the dominant dispatcher's
+``m * a_d`` over-estimates the total several-fold, drifting its decisions
+toward weighted-random, and SED can edge ahead *on the mean* -- while
+SCD with the oracle estimator stays in front, isolating estimation (not
+coordination) as the cause.  SCD remains stable throughout (Appendix D
+covers any bounded estimator).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from _common import BENCH_ROUNDS, BENCH_SEED
+
+TABLE_SPEC = (
+    "ablation_skewed_arrivals",
+    "Ablation: SCD under skewed dispatcher traffic (n=100, m=10, rho=0.9)",
+    ["skew", "max share", "scd (Eq.18)", "scd (oracle)", "sed"],
+)
+
+SYSTEM = repro.paper_system(100, 10, "u1_10")
+RHO = 0.9
+#: Geometric skew factors: 1.0 = the paper's symmetric split.
+SKEWS = (1.0, 1.5, 3.0)
+
+
+def run_with_skew(skew: float) -> dict[str, float]:
+    rates = SYSTEM.rates()
+    weights = skew ** np.arange(SYSTEM.num_dispatchers, dtype=np.float64)
+    lambdas = repro.lambdas_for_load(
+        RHO, rates, SYSTEM.num_dispatchers, weights=weights
+    )
+    seed = repro.derive_seed(BENCH_SEED, SYSTEM.name, round(RHO * 1e4), round(skew * 10))
+
+    def simulate(policy, **kwargs):
+        sim = repro.Simulation(
+            rates=rates,
+            policy=repro.make_policy(policy, **kwargs),
+            arrivals=repro.PoissonArrivals(lambdas),
+            service=repro.GeometricService(rates),
+            config=repro.SimulationConfig(rounds=BENCH_ROUNDS, seed=seed),
+        )
+        return sim.run().mean_response_time
+
+    return {
+        "max_share": float(weights.max() / weights.sum()),
+        "scd": simulate("scd"),
+        "scd-oracle": simulate("scd", estimator="oracle"),
+        "sed": simulate("sed"),
+    }
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+def test_skew_cell(benchmark, figure_table, skew):
+    means = benchmark.pedantic(run_with_skew, args=(skew,), rounds=1, iterations=1)
+    figure_table.add(
+        skew, means["max_share"], means["scd"], means["scd-oracle"], means["sed"]
+    )
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in means.items() if k != "max_share"}
+    )
+    # Coordination itself survives any skew: the oracle-estimated SCD
+    # stays ahead of SED.  Eq. 18 additionally holds its own up to
+    # moderate skew; at extreme skew its over-estimation is a documented
+    # limitation (see module docstring), so it is not asserted there.
+    assert means["scd-oracle"] < means["sed"], means
+    if skew <= 1.5:
+        assert means["scd"] < means["sed"], means
+
+
+def test_mild_skew_costs_little(benchmark):
+    def pair():
+        return {"sym": run_with_skew(1.0)["scd"], "skewed": run_with_skew(1.5)["scd"]}
+
+    means = benchmark.pedantic(pair, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in means.items()})
+    assert means["skewed"] < 1.6 * means["sym"], means

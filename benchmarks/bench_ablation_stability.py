@@ -1,0 +1,51 @@
+"""Ablation: empirical strong stability (Appendix D, footnote 1).
+
+Runs a starkly heterogeneous system (one server holds most of the
+capacity) near saturation and classifies each policy's total-queue series.
+Expected shape: SCD, SED and WR stay bounded (SCD provably so); uniform
+random and JSQ(2) destabilize -- their rate-oblivious sampling starves the
+fast server, so the slow servers' queues grow without bound.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.stability import assess_stability
+from _common import BENCH_ROUNDS, BENCH_SEED
+
+TABLE_SPEC = (
+    "ablation_stability",
+    "Ablation: stability at rho=0.95 on a stark system (1x mu=50 + 20x mu=1)",
+    ["policy", "stable", "queue growth (jobs/round)", "tail/head ratio"],
+)
+
+RATES = np.array([50.0] + [1.0] * 20)
+RHO = 0.95
+ROUNDS = max(3000, BENCH_ROUNDS)
+
+EXPECTED_STABLE = {"scd": True, "sed": True, "wr": True, "random": False, "jsq(2)": False}
+
+
+def run_policy(policy: str):
+    lambdas = np.full(4, RHO * RATES.sum() / 4)
+    sim = repro.Simulation(
+        rates=RATES,
+        policy=repro.make_policy(policy),
+        arrivals=repro.PoissonArrivals(lambdas),
+        service=repro.GeometricService(RATES),
+        config=repro.SimulationConfig(rounds=ROUNDS, seed=BENCH_SEED),
+    )
+    return sim.run()
+
+
+@pytest.mark.parametrize("policy", sorted(EXPECTED_STABLE))
+def test_stability_verdict(benchmark, figure_table, policy):
+    result = benchmark.pedantic(run_policy, args=(policy,), rounds=1, iterations=1)
+    verdict = assess_stability(result, float(RATES.sum()))
+    figure_table.add(
+        policy, verdict.stable, verdict.growth_slope, verdict.tail_to_head_ratio
+    )
+    benchmark.extra_info["stable"] = verdict.stable
+    benchmark.extra_info["slope"] = round(verdict.growth_slope, 4)
+    assert verdict.stable == EXPECTED_STABLE[policy], str(verdict)

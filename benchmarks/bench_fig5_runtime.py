@@ -1,0 +1,91 @@
+"""Figure 5: dispatching-decision run-times, mu ~ U[1, 10].
+
+For n in {100, 200, 300, 400} servers at rho = 0.99, measures how long one
+dispatcher takes to compute its round's assignment under SCD via
+Algorithm 4, SCD via Algorithm 1, JSQ, and SED.  Two instruments:
+
+* pytest-benchmark statistics on a representative snapshot (this module's
+  timing table), and
+* a CDF over many distinct snapshots written to results/ (the figure's
+  actual protocol).
+
+Paper shape (their C++, our Python -- compare shapes): SCD-Alg4 scales
+like JSQ and SED; SCD-Alg1 is clearly slower and grows faster with n.
+Note the paper's Figure 5 legend says "Algorithm 2/3"; per its Section 6.3
+text the curves are Algorithms 1 and 4.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.runtime import (
+    RUNTIME_TECHNIQUES,
+    collect_snapshots,
+    measure_decision_times,
+    runtime_cdf_summary,
+)
+
+from _common import BENCH_SEED
+
+TABLE_SPEC = (
+    "fig5_runtime",
+    "Figure 5: per-decision run-time CDF landmarks, rho=0.99 (mu ~ U[1,10]), microseconds",
+    ["n", "technique", "p10_us", "p50_us", "p90_us", "p99_us"],
+)
+
+PROFILE = "u1_10"
+SERVER_COUNTS = (100, 200, 300, 400)
+NUM_SNAPSHOTS = 120
+
+_snapshot_cache: dict[int, tuple[list, np.ndarray]] = {}
+
+
+def snapshots_for(n: int) -> tuple[list, np.ndarray]:
+    if n not in _snapshot_cache:
+        system = repro.SystemSpec(n, 10, PROFILE)
+        snaps = collect_snapshots(
+            system, rho=0.99, rounds=60, seed=BENCH_SEED, max_snapshots=NUM_SNAPSHOTS
+        )
+        _snapshot_cache[n] = (snaps, system.rates())
+    return _snapshot_cache[n]
+
+
+@pytest.mark.parametrize("n", SERVER_COUNTS)
+@pytest.mark.parametrize("technique", sorted(RUNTIME_TECHNIQUES))
+def test_fig5_decision_time(benchmark, figure_table, n, technique):
+    snaps, rates = snapshots_for(n)
+    fn = RUNTIME_TECHNIQUES[technique]
+    snap = snaps[len(snaps) // 2]
+
+    # pytest-benchmark timing on one representative high-load snapshot.
+    benchmark(fn, snap.queues, rates, snap.batch_size, 10)
+
+    # Full CDF across snapshots (the figure's protocol).
+    times = measure_decision_times(technique, snaps, rates, 10)
+    summary = runtime_cdf_summary(times)
+    figure_table.add(
+        n,
+        technique,
+        summary["p10_us"],
+        summary["p50_us"],
+        summary["p90_us"],
+        summary["p99_us"],
+    )
+    benchmark.extra_info["median_us_over_snapshots"] = round(summary["p50_us"], 1)
+
+
+@pytest.mark.parametrize("n", SERVER_COUNTS)
+def test_fig5_alg1_slower_than_alg4(benchmark, n):
+    """The asymptotic gap the figure demonstrates, per server count."""
+    snaps, rates = snapshots_for(n)
+
+    def medians():
+        return {
+            tech: float(np.median(measure_decision_times(tech, snaps, rates, 10)))
+            for tech in ("scd-alg1", "scd-alg4")
+        }
+
+    result = benchmark.pedantic(medians, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v * 1e6, 1) for k, v in result.items()})
+    assert result["scd-alg1"] > result["scd-alg4"], result

@@ -1,0 +1,84 @@
+"""Figure 8: decision run-times under high heterogeneity (mu ~ U[1, 100]).
+
+Same protocol as Figure 5 with the wider rate distribution.  Paper shape:
+trends match Figure 5; the heterogeneity itself does not change SCD-Alg4's
+standing relative to JSQ/SED (in the paper's C++, SED's heap updates get
+slightly slower here -- an artifact of their data structure, see their
+Section E.2 discussion; our batch implementations are insensitive to it).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.runtime import (
+    RUNTIME_TECHNIQUES,
+    collect_snapshots,
+    measure_decision_times,
+    runtime_cdf_summary,
+)
+
+from _common import BENCH_SEED
+
+TABLE_SPEC = (
+    "fig8_runtime_hetero",
+    "Figure 8: per-decision run-time CDF landmarks, rho=0.99 (mu ~ U[1,100]), microseconds",
+    ["n", "technique", "p10_us", "p50_us", "p90_us", "p99_us"],
+)
+
+PROFILE = "u1_100"
+SERVER_COUNTS = (100, 200, 300, 400)
+NUM_SNAPSHOTS = 120
+
+_snapshot_cache: dict[int, tuple[list, np.ndarray]] = {}
+
+
+def snapshots_for(n: int) -> tuple[list, np.ndarray]:
+    if n not in _snapshot_cache:
+        system = repro.SystemSpec(n, 10, PROFILE)
+        snaps = collect_snapshots(
+            system, rho=0.99, rounds=60, seed=BENCH_SEED, max_snapshots=NUM_SNAPSHOTS
+        )
+        _snapshot_cache[n] = (snaps, system.rates())
+    return _snapshot_cache[n]
+
+
+@pytest.mark.parametrize("n", SERVER_COUNTS)
+@pytest.mark.parametrize("technique", sorted(RUNTIME_TECHNIQUES))
+def test_fig8_decision_time(benchmark, figure_table, n, technique):
+    snaps, rates = snapshots_for(n)
+    fn = RUNTIME_TECHNIQUES[technique]
+    snap = snaps[len(snaps) // 2]
+    benchmark(fn, snap.queues, rates, snap.batch_size, 10)
+    times = measure_decision_times(technique, snaps, rates, 10)
+    summary = runtime_cdf_summary(times)
+    figure_table.add(
+        n,
+        technique,
+        summary["p10_us"],
+        summary["p50_us"],
+        summary["p90_us"],
+        summary["p99_us"],
+    )
+    benchmark.extra_info["median_us_over_snapshots"] = round(summary["p50_us"], 1)
+
+
+def test_fig8_scaling_shape(benchmark):
+    """Alg4's median grows roughly linearly in n; Alg1's superlinearly."""
+
+    def growth():
+        out = {}
+        for tech in ("scd-alg4", "scd-alg1"):
+            small_snaps, small_rates = snapshots_for(SERVER_COUNTS[0])
+            big_snaps, big_rates = snapshots_for(SERVER_COUNTS[-1])
+            small = np.median(
+                measure_decision_times(tech, small_snaps, small_rates, 10)
+            )
+            big = np.median(measure_decision_times(tech, big_snaps, big_rates, 10))
+            out[tech] = float(big / small)
+        return out
+
+    ratios = benchmark.pedantic(growth, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in ratios.items()})
+    # 4x the servers: Alg1's growth factor must exceed Alg4's.
+    assert ratios["scd-alg1"] > ratios["scd-alg4"], ratios

@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the core primitives (supporting Section 6.3).
+
+Times the individual building blocks the per-decision figures aggregate:
+the IWL computation (Algorithm 3, loop vs vectorized), the probability
+solvers (Algorithm 1 vs Algorithm 4 vs the vectorized form), and the
+greedy batch assignment (heap vs water-fill hybrid).  These quantify where
+the O(n log n) total comes from and document the constant-factor effect of
+vectorization on this substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.iwl import compute_iwl, compute_iwl_reference
+from repro.core.probabilities import (
+    scd_probabilities,
+    scd_probabilities_loop,
+    scd_probabilities_quadratic,
+)
+from repro.policies.greedy import greedy_batch_assign, greedy_batch_assign_heap
+
+TABLE_SPEC = (
+    "micro_core",
+    "Core primitive micro-benchmarks (see pytest-benchmark table)",
+    ["group", "note"],
+)
+
+SIZES = (100, 400)
+
+
+def instance(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    queues = rng.integers(0, 50, size=n)
+    rates = rng.uniform(1.0, 10.0, size=n)
+    arrivals = max(2, int(0.5 * rates.sum()))
+    return queues, rates, arrivals
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_iwl_vectorized(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    benchmark(compute_iwl, queues, rates, arrivals)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_iwl_reference_loop(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    benchmark(compute_iwl_reference, queues, rates, arrivals)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_probabilities_vectorized(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    iwl = compute_iwl(queues, rates, arrivals)
+    benchmark(scd_probabilities, queues, rates, arrivals, iwl)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_probabilities_alg4_loop(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    iwl = compute_iwl(queues, rates, arrivals)
+    benchmark(scd_probabilities_loop, queues, rates, arrivals, iwl)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_probabilities_alg1_quadratic(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    iwl = compute_iwl(queues, rates, arrivals)
+    benchmark(scd_probabilities_quadratic, queues, rates, arrivals, iwl)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_greedy_hybrid(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    benchmark(greedy_batch_assign, queues, rates, arrivals)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_greedy_heap(benchmark, n):
+    queues, rates, arrivals = instance(n)
+    benchmark(greedy_batch_assign_heap, queues, rates, arrivals)
+
+
+def test_alg1_vs_alg4_gap_grows(benchmark, figure_table):
+    """The asymptotic claim, as a ratio-of-ratios over SIZES."""
+    import time
+
+    def ratios():
+        out = {}
+        for n in SIZES:
+            queues, rates, arrivals = instance(n)
+            iwl = compute_iwl(queues, rates, arrivals)
+            timings = {}
+            for name, fn in [
+                ("alg1", scd_probabilities_quadratic),
+                ("alg4", scd_probabilities),
+            ]:
+                best = np.inf
+                for _ in range(5):
+                    start = time.perf_counter()
+                    fn(queues, rates, arrivals, iwl)
+                    best = min(best, time.perf_counter() - start)
+                timings[name] = best
+            out[n] = timings["alg1"] / timings["alg4"]
+        return out
+
+    gap = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    figure_table.add("alg1/alg4 slowdown", {n: round(v, 1) for n, v in gap.items()})
+    assert gap[SIZES[-1]] > gap[SIZES[0]], gap

@@ -1,0 +1,21 @@
+"""Benchmark-suite fixtures: per-module figure tables written to results/."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import FigureTable
+
+
+@pytest.fixture(scope="module")
+def figure_table(request):
+    """A per-module accumulator; the table file is written at module end.
+
+    Bench modules declare their table via module-level ``TABLE_SPEC =
+    (name, title, headers)``.
+    """
+    name, title, headers = request.module.TABLE_SPEC
+    table = FigureTable(name, title, headers)
+    yield table
+    if table.rows:
+        table.write()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Herding: why accurate information can hurt distributed dispatchers.
+
+All dispatchers see the same queue lengths.  Deterministic policies (JSQ,
+SED) therefore make the *same* choice, flooding the momentarily-shortest
+queues -- the "finger of death".  This demo quantifies herding directly:
+
+* response times as the dispatcher count grows with total load fixed,
+* a per-round "herding spike" -- the largest single-round job pile-up on
+  any one server -- which is exactly the quantity stochastic coordination
+  suppresses.
+
+Run:
+    python examples/herding_demo.py [--rounds N]
+"""
+
+import argparse
+
+import numpy as np
+
+import repro
+
+
+class SpikeProbe(repro.Policy):
+    """Wraps a policy and records the worst single-round server pile-up."""
+
+    def __init__(self, inner: repro.Policy) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = inner.name
+        self.max_spike = 0
+        self._round_received: np.ndarray | None = None
+
+    def bind(self, ctx):  # noqa: D102 - delegation
+        super().bind(ctx)
+        self.inner.bind(ctx)
+        self._round_received = np.zeros(ctx.num_servers, dtype=np.int64)
+
+    def begin_round(self, round_index, queues):
+        self._flush()
+        self.inner.begin_round(round_index, queues)
+
+    def dispatch(self, dispatcher, num_jobs):
+        counts = self.inner.dispatch(dispatcher, num_jobs)
+        self._round_received += counts
+        return counts
+
+    def end_round(self, round_index, queues):
+        self.inner.end_round(round_index, queues)
+
+    def observe_total_arrivals(self, total):
+        self.inner.observe_total_arrivals(total)
+
+    def _flush(self):
+        if self._round_received is not None:
+            spike = int(self._round_received.max())
+            if spike > self.max_spike:
+                self.max_spike = spike
+            self._round_received[:] = 0
+
+
+def run_with_probe(policy_name: str, m: int, rounds: int):
+    system = repro.SystemSpec(num_servers=60, num_dispatchers=m, profile="u1_10")
+    rates = system.rates()
+    probe = SpikeProbe(repro.make_policy(policy_name))
+    result = repro.simulate(
+        rates=rates,
+        policy=probe,
+        arrivals=repro.PoissonArrivals(system.lambdas(0.9)),
+        service=repro.GeometricService(rates),
+        config=repro.SimulationConfig(
+            rounds=rounds, seed=repro.derive_seed(9, system.name)
+        ),
+    )
+    probe._flush()
+    return result, probe.max_spike
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3000)
+    args = parser.parse_args()
+
+    print("60 heterogeneous servers (mu ~ U[1,10]), total load fixed at rho=0.9.")
+    print("Splitting the same traffic across more dispatchers:\n")
+    rows = []
+    for policy in ["jsq", "sed", "scd"]:
+        for m in [1, 5, 15]:
+            result, spike = run_with_probe(policy, m, args.rounds)
+            rows.append(
+                [
+                    policy,
+                    m,
+                    result.mean_response_time,
+                    float(result.histogram.percentile(0.99)),
+                    spike,
+                ]
+            )
+    print(
+        repro.format_table(
+            ["policy", "dispatchers", "mean resp", "p99", "worst pile-up"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: JSQ/SED single-round pile-ups grow with the dispatcher\n"
+        "count (every dispatcher picks the same short queue) and their\n"
+        "response times degrade; SCD's randomized coordination keeps both\n"
+        "nearly flat -- herding is a coordination failure, not an\n"
+        "information problem (Section 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

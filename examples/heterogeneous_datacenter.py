@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""A datacenter with accelerators: the paper's motivating scenario.
+
+Models a fleet of commodity CPU servers plus a 10% slice of much faster
+accelerator nodes (GPU/FPGA-class, 40x the CPU rate) -- the "higher
+heterogeneity" regime the paper attributes to accelerator deployments.
+Compares heterogeneity-aware and -oblivious policies across offered loads,
+and reports the tail quantiles that dominate user experience.
+
+Run:
+    python examples/heterogeneous_datacenter.py [--rounds N] [--loads 0.8 0.95]
+"""
+
+import argparse
+
+import numpy as np
+
+import repro
+
+
+def build_system() -> tuple[repro.SystemSpec, np.ndarray]:
+    system = repro.SystemSpec(num_servers=80, num_dispatchers=8, profile="bimodal")
+    rates = system.rates()
+    fast = rates > rates.min()
+    print(
+        f"Fleet: {int((~fast).sum())} CPU servers (mu={rates.min():g}) + "
+        f"{int(fast.sum())} accelerators (mu={rates.max():g}); "
+        f"accelerators hold {rates[fast].sum() / rates.sum():.0%} of capacity"
+    )
+    return system, rates
+
+
+def sweep(system: repro.SystemSpec, loads: list[float], rounds: int) -> None:
+    policies = ["scd", "twf", "sed", "hjsq(2)", "hlsq", "wr"]
+    config = repro.ExperimentConfig(rounds=rounds, base_seed=3)
+    print("\nMean response time by offered load")
+    result = repro.mean_response_sweep(policies, system, tuple(loads), config)
+    print(
+        repro.format_series_table(
+            "rho", loads, {p: result.row(p) for p in policies}
+        )
+    )
+    for rho in loads:
+        print(f"  best at rho={rho}: {result.best_policy_at(rho)}")
+
+
+def tails(system: repro.SystemSpec, rho: float, rounds: int) -> None:
+    policies = ["scd", "twf", "sed", "hlsq"]
+    config = repro.ExperimentConfig(rounds=rounds, base_seed=3)
+    results = repro.tail_experiment(policies, system, rho, config)
+    print(f"\nTail quantiles at rho = {rho} (response time in rounds)")
+    rows = []
+    for policy, result in results.items():
+        q = repro.tail_quantiles(result.histogram, (1e-1, 1e-2, 1e-3))
+        rows.append([policy, q[1e-1], q[1e-2], q[1e-3]])
+    print(
+        repro.format_table(
+            ["policy", "p90", "p99", "p99.9"], rows, float_format="{:.0f}"
+        )
+    )
+    factor, runner_up = repro.tail_improvement_factor(
+        results["scd"].histogram,
+        {p: r.histogram for p, r in results.items() if p != "scd"},
+        level=1e-3,
+    )
+    print(f"\nSCD's p99.9 is {factor:.2f}x shorter than the runner-up ({runner_up})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=4000)
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=[0.7, 0.9, 0.99]
+    )
+    args = parser.parse_args()
+    system, _ = build_system()
+    sweep(system, args.loads, args.rounds)
+    tails(system, max(args.loads), args.rounds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` in environments without
+the `wheel` package (all real metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

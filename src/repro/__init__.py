@@ -1,0 +1,219 @@
+"""repro -- Stochastic Coordination in Heterogeneous Load Balancing Systems.
+
+A complete reproduction of Goren, Vargaftik & Moses (PODC 2021): the SCD
+dispatching policy and its supporting mathematics, ten baseline policies,
+and a synchronous-round cluster simulator with the paper's evaluation
+protocol.
+
+Quickstart
+----------
+>>> import repro
+>>> system = repro.SystemSpec(num_servers=50, num_dispatchers=5, profile="u1_10")
+>>> result = repro.run_simulation("scd", system, rho=0.9,
+...                               config=repro.ExperimentConfig(rounds=2000))
+>>> result.mean_response_time  # doctest: +SKIP
+2.1...
+
+The core math is importable directly:
+
+>>> import numpy as np
+>>> q, mu = np.array([2, 1, 3, 1]), np.array([5.0, 2.0, 1.0, 1.0])
+>>> repro.compute_iwl(q, mu, arrivals=7)   # Figure 1's ideal workload
+1.375
+"""
+
+from .analysis.ccdf import ccdf_series, tail_improvement_factor, tail_quantiles
+from .analysis.replication import (
+    ReplicatedResult,
+    paired_comparison,
+    replicated_runs,
+)
+from .analysis.herding import HerdingProbe, HerdingStats
+from .analysis.persistence import (
+    load_result,
+    load_sweep,
+    save_result,
+    save_sweep,
+)
+from .analysis.runner import (
+    ExperimentConfig,
+    SweepResult,
+    mean_response_sweep,
+    run_simulation,
+    tail_experiment,
+)
+from .analysis.stability import StabilityVerdict, assess_stability
+from .analysis.tables import format_series_table, format_table
+from .core.estimation import (
+    ArrivalEstimator,
+    ConstantEstimator,
+    EwmaEstimator,
+    OracleTotal,
+    ScaledOwnArrivals,
+    make_estimator,
+)
+from .core.iwl import compute_iba, compute_iwl, compute_iwl_reference
+from .core.probabilities import (
+    kkt_residuals,
+    scd_objective,
+    scd_probabilities,
+    scd_probabilities_loop,
+    scd_probabilities_quadratic,
+    single_job_probabilities,
+)
+from .core.scd import SCDPolicy, scd_decision
+from .core.sized import (
+    generalized_probabilities,
+    sized_objective,
+    sized_scd_probabilities,
+)
+from .core.sized_policy import SizedSCDPolicy
+from .core.theory import (
+    StabilityBound,
+    geometric_second_moment,
+    poisson_second_moment,
+    strong_stability_bound,
+)
+from .core.twf import TWFPolicy, twf_probabilities
+from .policies.base import Policy, SystemContext, available_policies, make_policy
+from .policies.greedy import greedy_batch_assign, greedy_batch_assign_heap
+from .sim.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from .sim.engine import Simulation, SimulationConfig, SimulationResult, simulate
+from .sim.metrics import QueueLengthSeries, ResponseTimeHistogram
+from .sim.seeding import derive_seed, spawn_streams
+from .sim.server import ServerQueue
+from .sim.sized import (
+    BimodalSize,
+    DeterministicSize,
+    GeometricSize,
+    JobSizeDistribution,
+    SizedServerQueue,
+    SizedSimulation,
+    SizedSimulationResult,
+)
+from .sim.service import (
+    DeterministicService,
+    GeometricService,
+    ServiceProcess,
+    TraceService,
+)
+from .workloads.heterogeneity import (
+    bimodal_rates,
+    constant_rates,
+    make_rates,
+    uniform_rates,
+)
+from .workloads.scenarios import (
+    PAPER_LOADS,
+    PAPER_SYSTEMS,
+    TAIL_LOADS,
+    SystemSpec,
+    lambdas_for_load,
+    paper_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core math
+    "compute_iwl",
+    "compute_iwl_reference",
+    "compute_iba",
+    "scd_probabilities",
+    "scd_probabilities_loop",
+    "scd_probabilities_quadratic",
+    "single_job_probabilities",
+    "scd_objective",
+    "kkt_residuals",
+    "scd_decision",
+    "twf_probabilities",
+    "generalized_probabilities",
+    "sized_scd_probabilities",
+    "sized_objective",
+    "SizedSCDPolicy",
+    # estimators
+    "ArrivalEstimator",
+    "ScaledOwnArrivals",
+    "OracleTotal",
+    "ConstantEstimator",
+    "EwmaEstimator",
+    "make_estimator",
+    # policies
+    "Policy",
+    "SystemContext",
+    "SCDPolicy",
+    "TWFPolicy",
+    "make_policy",
+    "available_policies",
+    "greedy_batch_assign",
+    "greedy_batch_assign_heap",
+    # simulation
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate",
+    "ServerQueue",
+    "ResponseTimeHistogram",
+    "JobSizeDistribution",
+    "DeterministicSize",
+    "GeometricSize",
+    "BimodalSize",
+    "SizedServerQueue",
+    "SizedSimulation",
+    "SizedSimulationResult",
+    "QueueLengthSeries",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "TraceArrivals",
+    "ModulatedPoissonArrivals",
+    "ServiceProcess",
+    "GeometricService",
+    "DeterministicService",
+    "TraceService",
+    "spawn_streams",
+    "derive_seed",
+    # workloads
+    "SystemSpec",
+    "paper_system",
+    "PAPER_SYSTEMS",
+    "PAPER_LOADS",
+    "TAIL_LOADS",
+    "lambdas_for_load",
+    "uniform_rates",
+    "bimodal_rates",
+    "constant_rates",
+    "make_rates",
+    # analysis
+    "ExperimentConfig",
+    "run_simulation",
+    "mean_response_sweep",
+    "tail_experiment",
+    "SweepResult",
+    "ReplicatedResult",
+    "replicated_runs",
+    "paired_comparison",
+    "ccdf_series",
+    "tail_quantiles",
+    "tail_improvement_factor",
+    "assess_stability",
+    "StabilityVerdict",
+    "HerdingProbe",
+    "HerdingStats",
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+    "StabilityBound",
+    "strong_stability_bound",
+    "poisson_second_moment",
+    "geometric_second_moment",
+    "format_table",
+    "format_series_table",
+]

@@ -1,0 +1,56 @@
+"""Evaluation protocol: runner, tails, run-time and stability analysis."""
+
+from .ccdf import ccdf_series, tail_improvement_factor, tail_quantiles
+from .herding import HerdingProbe, HerdingStats
+from .persistence import (
+    load_result,
+    load_sweep,
+    save_result,
+    save_sweep,
+)
+from .replication import ReplicatedResult, paired_comparison, replicated_runs
+from .runner import (
+    ExperimentConfig,
+    SweepResult,
+    mean_response_sweep,
+    run_simulation,
+    tail_experiment,
+)
+from .runtime import (
+    RUNTIME_TECHNIQUES,
+    DecisionSnapshot,
+    collect_snapshots,
+    measure_decision_times,
+    runtime_cdf_summary,
+)
+from .stability import StabilityVerdict, assess_stability
+from .tables import format_series_table, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "run_simulation",
+    "mean_response_sweep",
+    "tail_experiment",
+    "SweepResult",
+    "ccdf_series",
+    "tail_quantiles",
+    "tail_improvement_factor",
+    "DecisionSnapshot",
+    "collect_snapshots",
+    "measure_decision_times",
+    "runtime_cdf_summary",
+    "RUNTIME_TECHNIQUES",
+    "HerdingProbe",
+    "HerdingStats",
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+    "ReplicatedResult",
+    "replicated_runs",
+    "paired_comparison",
+    "assess_stability",
+    "StabilityVerdict",
+    "format_table",
+    "format_series_table",
+]

@@ -1,0 +1,144 @@
+"""Herding diagnostics: measuring coordination failures directly.
+
+The paper's narrative is that deterministic full-information policies herd
+-- within a single round, many dispatchers independently pick the same few
+servers, piling jobs onto them.  Response times show the *consequence*;
+this module measures the *mechanism*:
+
+* **round spike** -- the largest number of jobs any single server receives
+  in one round.  Herding makes spikes scale with the number of
+  dispatchers; coordinated policies keep them near the balanced share.
+* **arrival imbalance** -- the per-round coefficient of variation of jobs
+  received across servers, normalized against the rate-proportional split
+  (so heterogeneity-aware placement is not itself flagged as imbalance).
+
+:class:`HerdingProbe` wraps any policy transparently; run it through the
+ordinary engine and read the statistics afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Policy, SystemContext
+
+__all__ = ["HerdingProbe", "HerdingStats"]
+
+
+class HerdingStats:
+    """Aggregated per-round placement statistics."""
+
+    def __init__(self) -> None:
+        self.rounds_observed = 0
+        self.max_spike = 0
+        self._spike_sum = 0.0
+        self._imbalance_sum = 0.0
+
+    def observe(self, received: np.ndarray, fair_share: np.ndarray) -> None:
+        """Fold in one round's per-server received-job counts.
+
+        Parameters
+        ----------
+        received:
+            Jobs each server received this round (all dispatchers).
+        fair_share:
+            The rate-proportional expectation for this round's total --
+            the placement a perfectly coordinated randomized policy
+            centers on.
+        """
+        total = int(received.sum())
+        if total == 0:
+            return
+        self.rounds_observed += 1
+        spike = int(received.max())
+        self._spike_sum += spike
+        if spike > self.max_spike:
+            self.max_spike = spike
+        # Root-mean-square deviation from the fair share, scaled by the
+        # round total: 0 = perfectly proportional placement.
+        deviation = np.sqrt(np.mean((received - fair_share) ** 2))
+        self._imbalance_sum += deviation / total
+
+    @property
+    def mean_spike(self) -> float:
+        """Average per-round maximum pile-up."""
+        if self.rounds_observed == 0:
+            return 0.0
+        return self._spike_sum / self.rounds_observed
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Average normalized RMS deviation from rate-proportional placement."""
+        if self.rounds_observed == 0:
+            return 0.0
+        return self._imbalance_sum / self.rounds_observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HerdingStats rounds={self.rounds_observed} "
+            f"max_spike={self.max_spike} mean_spike={self.mean_spike:.2f}>"
+        )
+
+
+class HerdingProbe(Policy):
+    """Transparent wrapper measuring a policy's per-round placements.
+
+    Behaves exactly like the wrapped policy (same name, same decisions,
+    same RNG consumption); accumulates a :class:`HerdingStats` as the
+    simulation runs.
+
+    Example
+    -------
+    >>> import repro
+    >>> from repro.analysis.herding import HerdingProbe
+    >>> probe = HerdingProbe(repro.make_policy("jsq"))
+    >>> # ... run `probe` through repro.Simulation ...
+    >>> # probe.stats.max_spike, probe.stats.mean_imbalance
+    """
+
+    def __init__(self, inner: Policy) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = inner.name
+        self.stats = HerdingStats()
+        self._round_received: np.ndarray | None = None
+        self._rate_share: np.ndarray | None = None
+
+    def bind(self, ctx: SystemContext) -> None:
+        """Bind both the probe and the wrapped policy."""
+        super().bind(ctx)
+        self.inner.bind(ctx)
+        self._round_received = np.zeros(ctx.num_servers, dtype=np.int64)
+        self._rate_share = ctx.rates / ctx.rates.sum()
+
+    def begin_round(self, round_index: int, queues: np.ndarray) -> None:
+        """Flush the previous round's counts, then delegate."""
+        self._flush()
+        self.inner.begin_round(round_index, queues)
+
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        """Delegate and record the returned placement."""
+        counts = self.inner.dispatch(dispatcher, num_jobs)
+        self._round_received += counts
+        return counts
+
+    def end_round(self, round_index: int, queues: np.ndarray) -> None:
+        """Delegate (local-state policies update here)."""
+        self.inner.end_round(round_index, queues)
+
+    def observe_total_arrivals(self, total: int) -> None:
+        """Delegate (oracle estimators listen here)."""
+        self.inner.observe_total_arrivals(total)
+
+    def finalize(self) -> HerdingStats:
+        """Flush the last round and return the accumulated statistics."""
+        self._flush()
+        return self.stats
+
+    def _flush(self) -> None:
+        if self._round_received is None:
+            return
+        total = int(self._round_received.sum())
+        if total:
+            self.stats.observe(self._round_received, total * self._rate_share)
+            self._round_received[:] = 0

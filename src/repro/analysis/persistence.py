@@ -1,0 +1,147 @@
+"""Saving and loading experiment results as JSON.
+
+Long sweeps are expensive; these helpers serialize
+:class:`repro.sim.engine.SimulationResult` (including the full
+response-time histogram, losslessly -- it is just integer counts) and
+:class:`repro.analysis.runner.SweepResult` so that figure regeneration,
+EXPERIMENTS.md tables and notebook analysis can reuse completed runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.runner import SweepResult
+from repro.sim.engine import SimulationConfig, SimulationResult
+from repro.sim.metrics import QueueLengthSeries, ResponseTimeHistogram
+from repro.workloads.scenarios import SystemSpec
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "save_sweep",
+    "load_sweep",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Lossless dict form of a simulation result (JSON-serializable)."""
+    hist = result.histogram
+    counts = hist.counts
+    nonzero = np.flatnonzero(counts)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "policy_name": result.policy_name,
+        "config": {
+            "rounds": result.config.rounds,
+            "warmup": result.config.warmup,
+            "seed": result.config.seed,
+            "track_queue_series": result.config.track_queue_series,
+        },
+        "histogram": {
+            "values": nonzero.tolist(),
+            "counts": counts[nonzero].tolist(),
+        },
+        "total_arrived": result.total_arrived,
+        "total_departed": result.total_departed,
+        "final_queued": result.final_queued,
+        "final_queues": result.final_queues.tolist(),
+    }
+    if result.queue_series is not None:
+        payload["queue_series"] = result.queue_series.values.tolist()
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    hist = ResponseTimeHistogram()
+    for value, count in zip(payload["histogram"]["values"], payload["histogram"]["counts"]):
+        hist.record(int(value), int(count))
+    series = None
+    if "queue_series" in payload:
+        series = QueueLengthSeries(rounds_hint=len(payload["queue_series"]))
+        for value in payload["queue_series"]:
+            series.record(int(value))
+    return SimulationResult(
+        policy_name=payload["policy_name"],
+        config=SimulationConfig(**payload["config"]),
+        histogram=hist,
+        queue_series=series,
+        total_arrived=int(payload["total_arrived"]),
+        total_departed=int(payload["total_departed"]),
+        final_queued=int(payload["final_queued"]),
+        final_queues=np.asarray(payload["final_queues"], dtype=np.int64),
+    )
+
+
+def save_result(result: SimulationResult, path: str | Path) -> Path:
+    """Write a result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result)))
+    return path
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict:
+    """JSON-serializable form of a mean-response sweep."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "system": {
+            "num_servers": sweep.system.num_servers,
+            "num_dispatchers": sweep.system.num_dispatchers,
+            "profile": sweep.system.profile,
+            "rate_seed": sweep.system.rate_seed,
+        },
+        "loads": list(sweep.loads),
+        "policies": list(sweep.policies),
+        "means": {
+            policy: {str(rho): value for rho, value in by_load.items()}
+            for policy, by_load in sweep.means.items()
+        },
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep format version: {version!r}")
+    return SweepResult(
+        system=SystemSpec(**payload["system"]),
+        loads=tuple(payload["loads"]),
+        policies=tuple(payload["policies"]),
+        means={
+            policy: {float(rho): value for rho, value in by_load.items()}
+            for policy, by_load in payload["means"].items()
+        },
+    )
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> Path:
+    """Write a sweep to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sweep_to_dict(sweep)))
+    return path
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))

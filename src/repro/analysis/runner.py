@@ -1,0 +1,128 @@
+"""Experiment runner: the paper's evaluation protocol as a library.
+
+Builds simulations from ``(policy name, system spec, offered load)``
+coordinates, with seeds derived from the *workload* coordinates only --
+every policy compared at the same coordinates sees identical arrival and
+departure realizations, matching the paper's common-seed methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.policies.base import Policy, make_policy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+from repro.sim.seeding import derive_seed
+from repro.sim.service import GeometricService
+from repro.workloads.scenarios import SystemSpec
+
+__all__ = [
+    "ExperimentConfig",
+    "run_simulation",
+    "mean_response_sweep",
+    "tail_experiment",
+    "SweepResult",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared run-length parameters for a family of simulations.
+
+    ``base_seed`` shifts the whole experiment to a fresh workload
+    realization (use different values for replications).
+    """
+
+    rounds: int = 10_000
+    warmup: int = 0
+    base_seed: int = 0
+
+
+def _workload_seed(config: ExperimentConfig, system: SystemSpec, rho: float) -> int:
+    """Seed from workload coordinates only (policy-independent)."""
+    return derive_seed(config.base_seed, system.name, round(rho * 10_000))
+
+
+def run_simulation(
+    policy: str | Policy,
+    system: SystemSpec,
+    rho: float,
+    config: ExperimentConfig | None = None,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Run one (policy, system, load) cell and return its result."""
+    config = config or ExperimentConfig()
+    rates = system.rates()
+    arrivals = PoissonArrivals(system.lambdas(rho))
+    service = GeometricService(rates)
+    sim = Simulation(
+        rates=rates,
+        policy=make_policy(policy, **policy_kwargs),
+        arrivals=arrivals,
+        service=service,
+        config=SimulationConfig(
+            rounds=config.rounds,
+            warmup=config.warmup,
+            seed=_workload_seed(config, system, rho),
+        ),
+    )
+    return sim.run()
+
+
+@dataclass
+class SweepResult:
+    """Mean response times on a (policy x load) grid for one system."""
+
+    system: SystemSpec
+    loads: tuple[float, ...]
+    policies: tuple[str, ...]
+    #: ``means[policy][load]`` -> mean response time in rounds.
+    means: dict[str, dict[float, float]]
+
+    def row(self, policy: str) -> list[float]:
+        """The policy's series over the load grid (figure line order)."""
+        return [self.means[policy][rho] for rho in self.loads]
+
+    def best_policy_at(self, rho: float) -> str:
+        """Name of the policy with the lowest mean response at ``rho``."""
+        return min(self.policies, key=lambda p: self.means[p][rho])
+
+
+def mean_response_sweep(
+    policies: list[str],
+    system: SystemSpec,
+    loads: tuple[float, ...],
+    config: ExperimentConfig | None = None,
+) -> SweepResult:
+    """Reproduce one panel of Figures 3a/4a/6a/7a.
+
+    Runs every (policy, load) cell with common random numbers and collects
+    mean response times.
+    """
+    config = config or ExperimentConfig()
+    means: dict[str, dict[float, float]] = {p: {} for p in policies}
+    for rho in loads:
+        for policy in policies:
+            result = run_simulation(policy, system, rho, config)
+            means[policy][rho] = result.mean_response_time
+    return SweepResult(
+        system=system,
+        loads=tuple(loads),
+        policies=tuple(policies),
+        means=means,
+    )
+
+
+def tail_experiment(
+    policies: list[str],
+    system: SystemSpec,
+    rho: float,
+    config: ExperimentConfig | None = None,
+) -> dict[str, SimulationResult]:
+    """Reproduce one panel of Figures 3b/4b: full distributions at one load."""
+    config = config or ExperimentConfig()
+    return {
+        policy: run_simulation(policy, system, rho, config) for policy in policies
+    }

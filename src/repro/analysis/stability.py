@@ -1,0 +1,76 @@
+"""Empirical stability diagnostics (Appendix D, footnote 1).
+
+The paper proves SCD is *strongly stable*: at any admissible load
+(``rho < 1``) the time-averaged total queue length stays bounded.  It also
+notes that heterogeneity-oblivious policies -- JSQ(d) with ``d < n``,
+uniform random -- can be *unstable* in heterogeneous systems: slow servers
+receive more work than they can process and their queues grow without
+bound while fast servers idle.
+
+These diagnostics classify a finite run: a stable policy's total-queue
+series flattens out, an unstable one's grows linearly.  We use two
+complementary signals (growth slope relative to capacity, and the
+tail/head mean ratio) so that a noisy-but-stationary series is not
+misclassified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.sim.engine import SimulationResult
+
+__all__ = ["StabilityVerdict", "assess_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Outcome of an empirical stability check on one run."""
+
+    stable: bool
+    growth_slope: float
+    tail_to_head_ratio: float
+    mean_total_queue: float
+
+    def __str__(self) -> str:
+        word = "STABLE" if self.stable else "UNSTABLE"
+        return (
+            f"{word} (slope={self.growth_slope:+.4f} jobs/round, "
+            f"tail/head={self.tail_to_head_ratio:.2f}, "
+            f"mean queue={self.mean_total_queue:.1f})"
+        )
+
+
+def assess_stability(
+    result: SimulationResult,
+    total_capacity: float,
+    slope_fraction: float = 0.01,
+    ratio_threshold: float = 2.5,
+) -> StabilityVerdict:
+    """Classify a run as empirically stable or unstable.
+
+    A run is flagged unstable when the queue series grows faster than
+    ``slope_fraction`` of the per-round system capacity *and* the last
+    quarter's mean exceeds the first quarter's by ``ratio_threshold`` --
+    both a trend and a level shift, so stationary noise does not trip it.
+
+    Parameters
+    ----------
+    result:
+        A simulation result with ``track_queue_series`` enabled.
+    total_capacity:
+        ``sum(mu)``, used to normalize the slope.
+    """
+    series = result.queue_series
+    if series is None:
+        raise ValueError("run the simulation with track_queue_series=True")
+    slope = series.growth_slope()
+    ratio = series.tail_to_head_ratio()
+    growing = slope > slope_fraction * total_capacity and ratio > ratio_threshold
+    return StabilityVerdict(
+        stable=not growing,
+        growth_slope=slope,
+        tail_to_head_ratio=ratio,
+        mean_total_queue=series.mean(),
+    )

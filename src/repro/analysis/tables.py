@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results (the benches' output format).
+
+Produces the rows the paper's figures encode: one line per policy with its
+series over the load grid (mean-response figures) or over the tau grid
+(tail figures).  Everything is monospace text so the benchmark harness can
+simply print it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render named series sharing an x-grid (one figure panel as text).
+
+    Rows are x-values; columns are series (policies), matching how the
+    paper's figure data reads.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(float(values[i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

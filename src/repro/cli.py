@@ -1,0 +1,261 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Installed as the ``repro`` console script (also ``python -m repro``).
+
+Subcommands
+-----------
+``policies``   list the registered dispatching policies
+``simulate``   one (policy, system, load) run; optional JSON output
+``sweep``      mean response times over a load grid, several policies
+``tails``      tail quantiles at one load, several policies
+``runtime``    per-decision computation-time CDF landmarks (Figures 5/8)
+``stability``  empirical stability verdict + the Appendix D bound
+
+Examples
+--------
+::
+
+    repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
+    repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
+    repro runtime --servers 100 200 400
+    repro stability --policy jsq(2) --rho 0.95
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+from repro.analysis.ccdf import tail_quantiles
+from repro.analysis.persistence import save_result, save_sweep
+from repro.analysis.runner import (
+    ExperimentConfig,
+    mean_response_sweep,
+    run_simulation,
+)
+from repro.analysis.runtime import (
+    RUNTIME_TECHNIQUES,
+    collect_snapshots,
+    measure_decision_times,
+    runtime_cdf_summary,
+)
+from repro.analysis.stability import assess_stability
+from repro.analysis.tables import format_series_table, format_table
+from repro.core.theory import strong_stability_bound
+from repro.policies.base import available_policies
+from repro.workloads.scenarios import SystemSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", "-n", type=int, default=100)
+    parser.add_argument("--dispatchers", "-m", type=int, default=10)
+    parser.add_argument(
+        "--profile",
+        default="u1_10",
+        choices=["u1_10", "u1_100", "bimodal", "homogeneous"],
+    )
+    parser.add_argument("--rate-seed", type=int, default=7)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rounds", type=int, default=5000)
+    parser.add_argument("--warmup", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _system_from(args: argparse.Namespace) -> SystemSpec:
+    return SystemSpec(
+        num_servers=args.servers,
+        num_dispatchers=args.dispatchers,
+        profile=args.profile,
+        rate_seed=args.rate_seed,
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        rounds=args.rounds, warmup=args.warmup, base_seed=args.seed
+    )
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    result = run_simulation(args.policy, system, args.rho, _config_from(args))
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in summary.items()],
+            title=f"{args.policy} on {system.name} at rho={args.rho} "
+            f"({args.rounds} rounds)",
+        )
+    )
+    print(
+        f"\njobs: arrived={result.total_arrived} "
+        f"departed={result.total_departed} queued={result.final_queued}"
+    )
+    if args.save:
+        path = save_result(result, args.save)
+        print(f"result written to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    sweep = mean_response_sweep(
+        args.policies, system, tuple(args.loads), _config_from(args)
+    )
+    print(
+        format_series_table(
+            "rho",
+            list(args.loads),
+            {policy: sweep.row(policy) for policy in args.policies},
+            title=f"Mean response time on {system.name} ({args.rounds} rounds/cell)",
+        )
+    )
+    for rho in args.loads:
+        print(f"  best at rho={rho}: {sweep.best_policy_at(rho)}")
+    if args.save:
+        path = save_sweep(sweep, args.save)
+        print(f"sweep written to {path}")
+    return 0
+
+
+def cmd_tails(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    config = _config_from(args)
+    levels = (1e-1, 1e-2, 1e-3, 1e-4)
+    rows = []
+    for policy in args.policies:
+        result = run_simulation(policy, system, args.rho, config)
+        quantiles = tail_quantiles(result.histogram, levels)
+        rows.append(
+            [policy, result.mean_response_time]
+            + [quantiles[level] for level in levels]
+        )
+    print(
+        format_table(
+            ["policy", "mean", "p90", "p99", "p99.9", "p99.99"],
+            rows,
+            title=f"Tails on {system.name} at rho={args.rho}",
+        )
+    )
+    return 0
+
+
+def cmd_runtime(args: argparse.Namespace) -> int:
+    for n in args.servers:
+        system = SystemSpec(n, args.dispatchers, args.profile)
+        snapshots = collect_snapshots(
+            system, rho=0.99, rounds=args.sim_rounds, seed=args.seed,
+            max_snapshots=args.snapshots,
+        )
+        rates = system.rates()
+        rows = []
+        for technique in sorted(RUNTIME_TECHNIQUES):
+            times = measure_decision_times(
+                technique, snapshots, rates, args.dispatchers
+            )
+            s = runtime_cdf_summary(times)
+            rows.append([technique, s["p50_us"], s["p90_us"], s["p99_us"]])
+        print(
+            format_table(
+                ["technique", "p50_us", "p90_us", "p99_us"],
+                rows,
+                title=f"\nDecision run-times, n={n} (rho=0.99, {args.profile})",
+                float_format="{:.1f}",
+            )
+        )
+    return 0
+
+
+def cmd_stability(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    rates = system.rates()
+    result = run_simulation(args.policy, system, args.rho, _config_from(args))
+    verdict = assess_stability(result, float(rates.sum()))
+    print(f"{args.policy} on {system.name} at rho={args.rho}: {verdict}")
+    if args.rho < 1.0:
+        bound = strong_stability_bound(system.lambdas(args.rho), rates)
+        print(f"Appendix D guarantee (any admissible policy need not meet it;")
+        print(f"SCD provably does): time-averaged total queue <= {bound.bound:.1f}")
+        measured = result.queue_series.mean()
+        print(f"measured time-averaged total queue: {measured:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Stochastic Coordination in Heterogeneous "
+        "Load Balancing Systems' (PODC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("policies", help="list registered policies")
+    p.set_defaults(func=cmd_policies)
+
+    p = sub.add_parser("simulate", help="run one policy at one load")
+    p.add_argument("--policy", default="scd")
+    p.add_argument("--rho", type=float, default=0.9)
+    p.add_argument("--save", help="write the result as JSON")
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="mean response over a load grid")
+    p.add_argument("--policies", nargs="+", default=["scd", "jsq", "sed"])
+    p.add_argument("--loads", type=float, nargs="+", default=[0.7, 0.9, 0.99])
+    p.add_argument("--save", help="write the sweep as JSON")
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("tails", help="tail quantiles at one load")
+    p.add_argument("--policies", nargs="+", default=["scd", "sed", "hlsq"])
+    p.add_argument("--rho", type=float, default=0.99)
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_tails)
+
+    p = sub.add_parser("runtime", help="decision-time CDFs (Figures 5/8)")
+    p.add_argument("--servers", type=int, nargs="+", default=[100, 200, 300, 400])
+    p.add_argument("--dispatchers", "-m", type=int, default=10)
+    p.add_argument(
+        "--profile", default="u1_10", choices=["u1_10", "u1_100", "bimodal"]
+    )
+    p.add_argument("--snapshots", type=int, default=200)
+    p.add_argument("--sim-rounds", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_runtime)
+
+    p = sub.add_parser("stability", help="empirical verdict + Appendix D bound")
+    p.add_argument("--policy", default="scd")
+    p.add_argument("--rho", type=float, default=0.95)
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_stability)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Size-aware stochastic coordination (the paper's open problem 1).
+
+Section 7 asks whether information about *the nature of jobs* can improve
+stochastic coordination.  This module answers the i.i.d.-size instance of
+that question.  Jobs carry integer work sizes ``w ~ W`` (distribution
+known to dispatchers); server ``s`` completes ``c_s(t)`` *work units* per
+round; queues are measured in units.
+
+Redoing the derivation of Eq. (5)-(8) with ``abar_s = sum_j w_j X_j``
+(``X_j ~ Bern(p_s)``, sizes independent of placements):
+
+    E[abar_s]   = a * wbar * p_s
+    E[abar_s^2] = a * E[W^2] * p_s - a * wbar^2 * p_s^2 + a^2 * wbar^2 * p_s^2
+
+and dropping constants / dividing by ``a * wbar``, the per-round problem
+becomes
+
+    minimize  A * sum_s p_s^2 / mu_s + sum_s (2(q_s - mu_s*iwl) + c) / mu_s * p_s
+
+with  ``A = wbar * (a - 1)``  and  ``c = E[W^2] / wbar``  -- the *same
+form* as Eq. (10), which has ``A = a - 1`` and ``c = 1`` (unit sizes give
+``wbar = E[W^2] = 1``).  The whole KKT analysis goes through verbatim with
+``1 -> c``: the probable set is a prefix of the ``(2q_s + c)/mu_s`` order,
+``Lambda0`` and the probabilities are closed-form, and the Lemma 2
+objective decomposition holds.  :func:`generalized_probabilities` is that
+solver; :func:`sized_scd_probabilities` applies the substitution, and
+:class:`SizedSCDPolicy` is the end-to-end dispatcher (the IWL is computed
+on the estimated total *work* ``a_est * wbar``).
+
+Intuition for the new constants: a heavier mean size raises the variance
+penalty of piling probability on one server (``A`` grows), and size
+dispersion (``E[W^2]/wbar = wbar * (1 + cv^2)``) grows the
+discreteness-correction ``c`` -- with very lumpy jobs, even a single
+placement is a big commitment, pushing the optimum toward faster servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .iwl import compute_iwl
+
+__all__ = [
+    "generalized_probabilities",
+    "sized_scd_probabilities",
+    "sized_objective",
+]
+
+_FEAS_EPS = 1e-12
+
+
+def generalized_probabilities(
+    queues: np.ndarray,
+    rates: np.ndarray,
+    quad_weight: float,
+    offset: float,
+    iwl: float,
+) -> np.ndarray:
+    """Solve the generalized prefix problem (vectorized Algorithm 4 form).
+
+    Minimizes ``quad_weight * sum p^2/mu + sum (2(q - mu*iwl) + offset)/mu * p``
+    over the simplex.  ``(quad_weight, offset) = (a - 1, 1)`` reproduces
+    :func:`repro.core.probabilities.scd_probabilities` exactly
+    (property-tested).
+
+    Parameters
+    ----------
+    quad_weight:
+        Coefficient ``A > 0`` of the quadratic term.
+    offset:
+        Discreteness correction ``c > 0`` in the linear term.
+    """
+    queues = np.asarray(queues, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    if quad_weight <= 0:
+        raise ValueError(f"quad_weight must be positive, got {quad_weight}")
+    if offset <= 0:
+        raise ValueError(f"offset must be positive, got {offset}")
+
+    key = (2.0 * queues + offset) / rates
+    order = np.argsort(key, kind="stable")
+    mu_o = rates[order]
+    q_o = queues[order]
+    key_o = key[order]
+
+    gain = mu_o * iwl - q_o
+    lam0_num = (
+        2.0 * np.cumsum(gain)
+        - offset * np.arange(1, key_o.size + 1)
+        - 2.0 * quad_weight
+    )
+    lam0_den = np.cumsum(mu_o)
+    lam0 = lam0_num / lam0_den
+
+    feasible = 2.0 * iwl - key_o >= lam0 - _FEAS_EPS
+
+    four_a = 4.0 * quad_weight
+    numer = -2.0 * gain + offset
+    v1 = lam0_den / four_a
+    v2 = np.cumsum(numer * numer / mu_o) / four_a
+    val = np.where(feasible, v1 * lam0 * lam0 - v2, np.inf)
+    best = int(np.argmin(val))
+
+    p = (2.0 * (rates * iwl - queues) - offset - rates * lam0[best]) / (
+        2.0 * quad_weight
+    )
+    np.maximum(p, 0.0, out=p)
+    return p
+
+
+def sized_objective(
+    p: np.ndarray,
+    queues: np.ndarray,
+    rates: np.ndarray,
+    quad_weight: float,
+    offset: float,
+    iwl: float,
+) -> float:
+    """Evaluate the generalized objective at ``p`` (for tests/oracles)."""
+    p = np.asarray(p, dtype=np.float64)
+    queues = np.asarray(queues, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    linear = (2.0 * (queues - rates * iwl) + offset) / rates
+    return float(quad_weight * np.sum(p * p / rates) + np.dot(linear, p))
+
+
+def sized_scd_probabilities(
+    unit_queues: np.ndarray,
+    rates: np.ndarray,
+    num_jobs_estimate: float,
+    mean_size: float,
+    second_moment_size: float,
+) -> tuple[float, np.ndarray]:
+    """Size-aware SCD probabilities for one dispatching decision.
+
+    Parameters
+    ----------
+    unit_queues:
+        Pending *work units* per server.
+    rates:
+        Work units each server completes per round in expectation.
+    num_jobs_estimate:
+        Estimated number of jobs arriving system-wide this round
+        (e.g. Eq. 18's ``m * a_d``).
+    mean_size, second_moment_size:
+        ``E[W]`` and ``E[W^2]`` of the job-size distribution.
+
+    Returns
+    -------
+    (iwl, probabilities)
+        The ideal workload for the estimated incoming *work*, and the
+        optimal per-job destination distribution.
+    """
+    if mean_size <= 0:
+        raise ValueError("mean job size must be positive")
+    if second_moment_size < mean_size**2:
+        raise ValueError("E[W^2] cannot be below E[W]^2")
+    if num_jobs_estimate < 1:
+        raise ValueError("estimated arrivals must be >= 1")
+
+    unit_queues = np.asarray(unit_queues, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    total_work = float(num_jobs_estimate) * mean_size
+    iwl = compute_iwl(unit_queues, rates, total_work)
+    offset = second_moment_size / mean_size
+    if num_jobs_estimate == 1:
+        # With a = 1 the quadratic term vanishes (as in Eq. 9) and any
+        # distribution on the argmin of the *size-adjusted* key
+        # (2q + E[W^2]/wbar)/mu is optimal; return the uniform one.
+        key = (2.0 * unit_queues + offset) / rates
+        winners = key <= key.min() + _FEAS_EPS
+        p = np.zeros(key.size, dtype=np.float64)
+        p[winners] = 1.0 / winners.sum()
+        return iwl, p
+    probs = generalized_probabilities(
+        unit_queues,
+        rates,
+        quad_weight=mean_size * (float(num_jobs_estimate) - 1.0),
+        offset=offset,
+        iwl=iwl,
+    )
+    return iwl, probs

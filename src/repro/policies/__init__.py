@@ -1,0 +1,36 @@
+"""Dispatching policies: SCD's baselines and the policy framework.
+
+Importing this package registers every policy with the name registry, so
+``make_policy("hlsq")`` etc. work after ``import repro.policies``.
+"""
+
+from .base import Policy, SystemContext, available_policies, make_policy, register_policy
+from .greedy import greedy_batch_assign, greedy_batch_assign_heap, greedy_certificate_ok
+from .jiq import JIQPolicy
+from .jsq import JSQPolicy, SEDPolicy
+from .led import LEDPolicy
+from .lsq import LSQPolicy
+from .power_of_d import PowerOfDPolicy
+from .random_policies import UniformRandomPolicy, WeightedRandomPolicy
+from .round_robin import RoundRobinPolicy, WeightedRoundRobinPolicy
+
+__all__ = [
+    "Policy",
+    "SystemContext",
+    "make_policy",
+    "available_policies",
+    "register_policy",
+    "greedy_batch_assign",
+    "greedy_batch_assign_heap",
+    "greedy_certificate_ok",
+    "JSQPolicy",
+    "SEDPolicy",
+    "PowerOfDPolicy",
+    "JIQPolicy",
+    "LSQPolicy",
+    "LEDPolicy",
+    "RoundRobinPolicy",
+    "WeightedRoundRobinPolicy",
+    "WeightedRandomPolicy",
+    "UniformRandomPolicy",
+]

@@ -1,0 +1,177 @@
+"""Dispatching-policy framework.
+
+Every load-balancing technique in the paper (SCD and the ten baselines) is
+a :class:`Policy`.  The simulation engine drives policies through a small
+life-cycle:
+
+1. :meth:`Policy.bind` -- once per simulation, with the immutable
+   :class:`SystemContext` (server rates, dimensions, RNG stream).
+2. :meth:`Policy.begin_round` -- once per round with the queue-length
+   snapshot all dispatchers observe (the model of Section 2 gives every
+   dispatcher the same `q_s(t)`).
+3. :meth:`Policy.dispatch` -- once per dispatcher with a non-empty batch;
+   returns per-server job counts for that dispatcher's whole batch.
+4. :meth:`Policy.end_round` -- after departures, with the updated queues
+   (used by policies with local state, e.g. LSQ's sampled refreshes).
+
+Policies must be *independent across dispatchers within a round*: a
+``dispatch`` call may use only the shared snapshot, the dispatcher's own
+batch size, and per-dispatcher private state.  That restriction is what
+makes the model distributed -- it is asserted in tests, not enforced at
+runtime.
+
+A registry (:func:`register_policy` / :func:`make_policy`) maps the names
+used in the paper's figures (``"scd"``, ``"jsq"``, ``"hlsq"``, ...) to
+policy factories so experiments can be specified as plain strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "SystemContext",
+    "Policy",
+    "register_policy",
+    "make_policy",
+    "available_policies",
+]
+
+
+@dataclass
+class SystemContext:
+    """Immutable facts a policy may rely on, fixed for a whole simulation.
+
+    Attributes
+    ----------
+    rates:
+        Server processing rates ``mu_s`` (float array, length ``n``).
+    num_dispatchers:
+        ``m``, the number of dispatchers sharing the server pool.
+    rng:
+        The policy's private random stream.  Seeded independently of the
+        arrival/departure streams so that different policies can be
+        compared under *identical* workload realizations.
+    """
+
+    rates: np.ndarray
+    num_dispatchers: int
+    rng: np.random.Generator
+
+    num_servers: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rates = np.asarray(self.rates, dtype=np.float64)
+        if self.rates.ndim != 1 or self.rates.size == 0:
+            raise ValueError("rates must be a non-empty 1-D array")
+        if np.any(self.rates <= 0):
+            raise ValueError("service rates must be strictly positive")
+        if self.num_dispatchers < 1:
+            raise ValueError("need at least one dispatcher")
+        self.num_servers = int(self.rates.size)
+
+
+class Policy(ABC):
+    """Base class for dispatching policies.
+
+    Subclasses set :attr:`name` (the identifier used in figures and the
+    registry) and implement :meth:`dispatch`; the remaining hooks default
+    to no-ops.
+    """
+
+    #: Registry / display name, e.g. ``"scd"`` or ``"hjsq(2)"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ctx: SystemContext | None = None
+
+    # -- life-cycle -------------------------------------------------------
+
+    def bind(self, ctx: SystemContext) -> None:
+        """Attach the policy to a system; called once before the first round."""
+        self.ctx = ctx
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook: allocate per-system state (local arrays, CDFs...)."""
+
+    def begin_round(self, round_index: int, queues: np.ndarray) -> None:
+        """Receive the round's shared queue-length snapshot.
+
+        ``queues`` is the engine's live int64 array; policies must treat it
+        as read-only and must not keep references past the round.
+        """
+
+    @abstractmethod
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        """Assign ``num_jobs`` jobs for dispatcher ``dispatcher``.
+
+        Returns an int64 array of length ``n`` whose entries sum to
+        ``num_jobs``: the count of jobs this dispatcher forwards to each
+        server this round.
+        """
+
+    def end_round(self, round_index: int, queues: np.ndarray) -> None:
+        """Observe post-departure queues (for local-state policies)."""
+
+    def observe_total_arrivals(self, total: int) -> None:
+        """Feed the true round total (consumed only by oracle estimators)."""
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def rates(self) -> np.ndarray:
+        assert self.ctx is not None, "policy used before bind()"
+        return self.ctx.rates
+
+    @property
+    def rng(self) -> np.random.Generator:
+        assert self.ctx is not None, "policy used before bind()"
+        return self.ctx.rng
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: dict[str, Callable[..., Policy]] = {}
+
+
+def register_policy(name: str) -> Callable[[Callable[..., Policy]], Callable[..., Policy]]:
+    """Class decorator registering a policy factory under ``name``."""
+
+    def decorator(factory: Callable[..., Policy]) -> Callable[..., Policy]:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"policy {name!r} registered twice")
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def make_policy(spec: str | Policy, **kwargs) -> Policy:
+    """Instantiate a policy from its registry name (or pass one through).
+
+    Examples
+    --------
+    >>> make_policy("scd").name
+    'scd'
+    >>> make_policy("jsq(d)", d=3).name
+    'jsq(3)'
+    """
+    if isinstance(spec, Policy):
+        return spec
+    key = spec.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown policy {spec!r}; known policies: {known}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`make_policy`, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,84 @@
+"""Join-the-Idle-Queue (JIQ) and its heterogeneity-aware variant hJIQ.
+
+A JIQ dispatcher forwards jobs only to *idle* servers (empty queue at the
+round's snapshot); once it has used up the idle servers it knows about, the
+remaining jobs go to random servers.  The paper's hJIQ variant (footnote 6)
+replaces both uniform choices with rate-proportional ones: idle servers are
+picked with probability proportional to ``mu_s`` and the random fallback is
+weighted-random.
+
+Each dispatcher consumes the idle set *independently* -- dispatchers do not
+see each other's assignments, so at moderate load many dispatchers pile
+onto the same few idle servers.  That correlation, plus the random fallback
+at high load, is exactly why JIQ degrades as load grows (Section 1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Policy, register_policy
+
+__all__ = ["JIQPolicy"]
+
+
+class JIQPolicy(Policy):
+    """JIQ / hJIQ, parameterized by heterogeneity awareness."""
+
+    def __init__(self, heterogeneity_aware: bool = False) -> None:
+        super().__init__()
+        self.heterogeneity_aware = bool(heterogeneity_aware)
+        self.name = "hjiq" if heterogeneity_aware else "jiq"
+
+    def _on_bind(self) -> None:
+        if self.heterogeneity_aware:
+            weights = self.rates / self.rates.sum()
+            self._fallback_cdf: np.ndarray | None = np.cumsum(weights)
+        else:
+            self._fallback_cdf = None
+        self._idle: np.ndarray | None = None
+
+    def begin_round(self, round_index: int, queues: np.ndarray) -> None:
+        self._idle = np.flatnonzero(queues == 0)
+
+    def _pick_idle(self, budget: int) -> np.ndarray:
+        """Choose up to ``budget`` *distinct* idle servers for one dispatcher."""
+        idle = self._idle
+        take = min(budget, idle.size)
+        if take == 0:
+            return idle[:0]
+        if self._fallback_cdf is None:
+            return self.rng.permutation(idle)[:take]
+        weights = self.rates[idle]
+        return self.rng.choice(idle, size=take, replace=False, p=weights / weights.sum())
+
+    def _pick_fallback(self, count: int) -> np.ndarray:
+        """Random destinations once no idle servers remain."""
+        n = self.ctx.num_servers
+        if self._fallback_cdf is None:
+            return self.rng.integers(0, n, size=count)
+        return np.searchsorted(self._fallback_cdf, self.rng.random(count))
+
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        n = self.ctx.num_servers
+        counts = np.zeros(n, dtype=np.int64)
+        if num_jobs <= 0:
+            return counts
+        k = int(num_jobs)
+        chosen_idle = self._pick_idle(k)
+        counts[chosen_idle] += 1
+        rest = k - chosen_idle.size
+        if rest > 0:
+            fallback = self._pick_fallback(rest)
+            np.add.at(counts, fallback, 1)
+        return counts
+
+
+@register_policy("jiq")
+def _make_jiq() -> JIQPolicy:
+    return JIQPolicy(heterogeneity_aware=False)
+
+
+@register_policy("hjiq")
+def _make_hjiq() -> JIQPolicy:
+    return JIQPolicy(heterogeneity_aware=True)

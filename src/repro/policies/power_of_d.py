@@ -1,0 +1,105 @@
+"""Power-of-d-choices policies: JSQ(d) and hJSQ(d).
+
+For each arriving job the dispatcher samples ``d`` servers and sends the
+job to the best of the sample.  The classic JSQ(d) samples uniformly and
+ranks by queue length; the heterogeneity-aware hJSQ(d) of the paper's
+footnote 6 samples server ``s`` with probability ``mu_s / sum(mu)`` and
+ranks by expected delay ``q_s / mu_s``.
+
+Sampling is per *job* (that is the mechanism that breaks dispatcher
+symmetry), and a dispatcher tracks its own within-round assignments, so two
+of its jobs landing on the same sampled server see the incremented queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Policy, register_policy
+
+__all__ = ["PowerOfDPolicy"]
+
+
+class PowerOfDPolicy(Policy):
+    """JSQ(d) / hJSQ(d), parameterized by sample size and awareness.
+
+    Parameters
+    ----------
+    d:
+        Number of servers sampled per job (``d >= 1``); ``d = 2`` is the
+        paper's configuration.
+    heterogeneity_aware:
+        ``False`` for JSQ(d) (uniform sampling, rank by ``q``); ``True``
+        for hJSQ(d) (rate-proportional sampling, rank by ``q/mu``).
+    """
+
+    def __init__(self, d: int = 2, heterogeneity_aware: bool = False) -> None:
+        super().__init__()
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.heterogeneity_aware = bool(heterogeneity_aware)
+        self.name = f"hjsq({d})" if heterogeneity_aware else f"jsq({d})"
+
+    def _on_bind(self) -> None:
+        n = self.ctx.num_servers
+        if self.heterogeneity_aware:
+            weights = self.rates / self.rates.sum()
+            self._sampling_cdf: np.ndarray | None = np.cumsum(weights)
+            self._inv_rates = (1.0 / self.rates).tolist()
+        else:
+            self._sampling_cdf = None
+            self._inv_rates = [1.0] * n
+        self._queues: np.ndarray | None = None
+
+    def begin_round(self, round_index: int, queues: np.ndarray) -> None:
+        self._queues = queues
+
+    def _sample_servers(self, count: int) -> np.ndarray:
+        """Draw a (count, d) array of candidate server indices."""
+        n = self.ctx.num_servers
+        if self._sampling_cdf is None:
+            return self.rng.integers(0, n, size=(count, self.d))
+        u = self.rng.random((count, self.d))
+        return np.searchsorted(self._sampling_cdf, u)
+
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        n = self.ctx.num_servers
+        counts = np.zeros(n, dtype=np.int64)
+        if num_jobs <= 0:
+            return counts
+        samples = self._sample_servers(int(num_jobs)).tolist()
+        # Local view: snapshot ranks plus this dispatcher's own assignments.
+        rank = (self._queues.astype(np.float64) * np.asarray(self._inv_rates)).tolist()
+        inv_rates = self._inv_rates
+        for candidates in samples:
+            best = candidates[0]
+            best_rank = rank[best]
+            for s in candidates[1:]:
+                r = rank[s]
+                if r < best_rank:
+                    best = s
+                    best_rank = r
+            counts[best] += 1
+            rank[best] = best_rank + inv_rates[best]
+        return counts
+
+
+@register_policy("jsq(d)")
+def _make_jsq_d(d: int = 2) -> PowerOfDPolicy:
+    return PowerOfDPolicy(d=d, heterogeneity_aware=False)
+
+
+@register_policy("jsq(2)")
+def _make_jsq_2() -> PowerOfDPolicy:
+    return PowerOfDPolicy(d=2, heterogeneity_aware=False)
+
+
+@register_policy("hjsq(d)")
+def _make_hjsq_d(d: int = 2) -> PowerOfDPolicy:
+    return PowerOfDPolicy(d=d, heterogeneity_aware=True)
+
+
+@register_policy("hjsq(2)")
+def _make_hjsq_2() -> PowerOfDPolicy:
+    return PowerOfDPolicy(d=2, heterogeneity_aware=True)

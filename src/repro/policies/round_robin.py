@@ -1,0 +1,74 @@
+"""Round-robin and weighted round-robin dispatching.
+
+The default algorithms of production L7 balancers (NGINX, HAProxy) that
+the paper's introduction positions SCD against.  Both are queue-oblivious:
+plain round-robin cycles through servers uniformly (and, like uniform
+random, is unstable in heterogeneous systems at high load); weighted
+round-robin visits each server proportionally to its service rate using a
+smooth interleaving (the classic smooth-WRR scheme NGINX uses: each step,
+add every server's weight to its credit and pick the largest credit).
+
+Each dispatcher keeps its *own* rotation state -- dispatchers do not
+coordinate, so their rotations drift apart, which is precisely why
+round-robin avoids herding while still wasting queue information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Policy, register_policy
+
+__all__ = ["RoundRobinPolicy", "WeightedRoundRobinPolicy"]
+
+
+@register_policy("rr")
+class RoundRobinPolicy(Policy):
+    """Plain round-robin: dispatcher d cycles servers in index order."""
+
+    name = "rr"
+
+    def _on_bind(self) -> None:
+        m = self.ctx.num_dispatchers
+        # Stagger starting positions so dispatchers do not trivially align.
+        n = self.ctx.num_servers
+        self._position = np.array([(d * n) // m for d in range(m)], dtype=np.int64)
+
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        n = self.ctx.num_servers
+        start = int(self._position[dispatcher])
+        counts = np.bincount((start + np.arange(num_jobs)) % n, minlength=n)
+        self._position[dispatcher] = (start + num_jobs) % n
+        return counts.astype(np.int64)
+
+
+@register_policy("wrr")
+class WeightedRoundRobinPolicy(Policy):
+    """Smooth weighted round-robin (NGINX's algorithm), per dispatcher.
+
+    Per job: every server's credit increases by its weight ``mu_s``; the
+    job goes to the largest credit, which is then decreased by the total
+    weight.  Long-run shares converge to ``mu_s / sum(mu)`` with the
+    smoothest possible interleaving.
+    """
+
+    name = "wrr"
+
+    def _on_bind(self) -> None:
+        m = self.ctx.num_dispatchers
+        n = self.ctx.num_servers
+        self._credits = np.zeros((m, n), dtype=np.float64)
+        self._total_weight = float(self.rates.sum())
+
+    def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
+        n = self.ctx.num_servers
+        counts = np.zeros(n, dtype=np.int64)
+        credits = self._credits[dispatcher]
+        rates = self.rates
+        total = self._total_weight
+        for _ in range(int(num_jobs)):
+            credits += rates
+            best = int(np.argmax(credits))
+            credits[best] -= total
+            counts[best] += 1
+        return counts

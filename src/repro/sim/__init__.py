@@ -1,0 +1,52 @@
+"""Synchronous-round cluster simulator (the model of Section 2)."""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from .engine import Simulation, SimulationConfig, SimulationResult, simulate
+from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .seeding import SimulationStreams, derive_seed, spawn_streams
+from .server import ServerQueue
+from .service import DeterministicService, GeometricService, ServiceProcess, TraceService
+from .sized import (
+    BimodalSize,
+    DeterministicSize,
+    GeometricSize,
+    JobSizeDistribution,
+    SizedServerQueue,
+    SizedSimulation,
+    SizedSimulationResult,
+)
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate",
+    "ServerQueue",
+    "ResponseTimeHistogram",
+    "QueueLengthSeries",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "TraceArrivals",
+    "ModulatedPoissonArrivals",
+    "ServiceProcess",
+    "GeometricService",
+    "DeterministicService",
+    "TraceService",
+    "JobSizeDistribution",
+    "DeterministicSize",
+    "GeometricSize",
+    "BimodalSize",
+    "SizedServerQueue",
+    "SizedSimulation",
+    "SizedSimulationResult",
+    "SimulationStreams",
+    "spawn_streams",
+    "derive_seed",
+]

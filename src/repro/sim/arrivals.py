@@ -1,0 +1,162 @@
+"""Per-dispatcher arrival processes (phase 1 of each round).
+
+The paper's evaluation draws each dispatcher's round batch from a Poisson
+distribution, ``a_d(t) ~ Pois(lambda_d)`` (Section 6.1); the model itself
+only requires stochastic, independent, unknown processes (Section 2).  The
+extra processes here support tests (deterministic, trace) and burstiness
+experiments (a two-state modulated Poisson whose phase is *shared* by all
+dispatchers -- correlated arrival surges are the hard case for herding).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "TraceArrivals",
+    "ModulatedPoissonArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Produces the vector of per-dispatcher batch sizes each round."""
+
+    @property
+    @abstractmethod
+    def num_dispatchers(self) -> int:
+        """Number of dispatchers this process feeds."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
+        """Return an int64 array of length ``m`` with this round's arrivals."""
+
+    def reset(self) -> None:
+        """Clear internal state (modulation phase, trace position...)."""
+
+    @property
+    def mean_rate(self) -> float:
+        """Expected total arrivals per round (for admissibility checks)."""
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Independent Poisson batches: ``a_d(t) ~ Pois(lambda_d)``."""
+
+    def __init__(self, lambdas: np.ndarray) -> None:
+        self.lambdas = np.asarray(lambdas, dtype=np.float64)
+        if self.lambdas.ndim != 1 or self.lambdas.size == 0:
+            raise ValueError("lambdas must be a non-empty 1-D array")
+        if np.any(self.lambdas < 0):
+            raise ValueError("arrival rates must be non-negative")
+
+    @property
+    def num_dispatchers(self) -> int:
+        return int(self.lambdas.size)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(self.lambdas.sum())
+
+    def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
+        return rng.poisson(self.lambdas).astype(np.int64)
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed fractional rates realized by credit accumulation.
+
+    Dispatcher ``d`` with rate 2.5 receives 2, 3, 2, 3, ... jobs.  Useful
+    for tests that need an exactly known workload.
+    """
+
+    def __init__(self, rates: np.ndarray) -> None:
+        self.rates = np.asarray(rates, dtype=np.float64)
+        if np.any(self.rates < 0):
+            raise ValueError("arrival rates must be non-negative")
+        self._credit = np.zeros_like(self.rates)
+
+    @property
+    def num_dispatchers(self) -> int:
+        return int(self.rates.size)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(self.rates.sum())
+
+    def reset(self) -> None:
+        self._credit[:] = 0.0
+
+    def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
+        self._credit += self.rates
+        batches = np.floor(self._credit + 1e-12).astype(np.int64)
+        self._credit -= batches
+        return batches
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay a ``(T, m)`` matrix of batch sizes, cycling past the end."""
+
+    def __init__(self, trace: np.ndarray) -> None:
+        self.trace = np.asarray(trace, dtype=np.int64)
+        if self.trace.ndim != 2 or self.trace.shape[0] == 0:
+            raise ValueError("trace must be a non-empty (rounds, dispatchers) matrix")
+        if np.any(self.trace < 0):
+            raise ValueError("trace entries must be non-negative")
+
+    @property
+    def num_dispatchers(self) -> int:
+        return int(self.trace.shape[1])
+
+    @property
+    def mean_rate(self) -> float:
+        return float(self.trace.sum(axis=1).mean())
+
+    def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
+        return self.trace[round_index % self.trace.shape[0]]
+
+
+class ModulatedPoissonArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson arrivals (bursty extension).
+
+    A global phase alternates between *calm* and *surge*; all dispatchers
+    share the phase, so surges are correlated across entry points.  With
+    ``switch_prob = 1`` the phase resamples every round; with small values
+    bursts persist.  Mean rate is the stationary mixture (phases are
+    symmetric, so the stationary distribution is 50/50).
+    """
+
+    def __init__(
+        self,
+        calm_lambdas: np.ndarray,
+        surge_lambdas: np.ndarray,
+        switch_prob: float = 0.05,
+    ) -> None:
+        self.calm = np.asarray(calm_lambdas, dtype=np.float64)
+        self.surge = np.asarray(surge_lambdas, dtype=np.float64)
+        if self.calm.shape != self.surge.shape or self.calm.ndim != 1:
+            raise ValueError("calm and surge rate vectors must match")
+        if not 0.0 < switch_prob <= 1.0:
+            raise ValueError("switch_prob must be in (0, 1]")
+        self.switch_prob = float(switch_prob)
+        self._in_surge = False
+
+    @property
+    def num_dispatchers(self) -> int:
+        return int(self.calm.size)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(0.5 * (self.calm.sum() + self.surge.sum()))
+
+    def reset(self) -> None:
+        self._in_surge = False
+
+    def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
+        if rng.random() < self.switch_prob:
+            self._in_surge = not self._in_surge
+        lambdas = self.surge if self._in_surge else self.calm
+        return rng.poisson(lambdas).astype(np.int64)

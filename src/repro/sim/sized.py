@@ -1,0 +1,298 @@
+"""Sized-job simulation: work-unit queues for the open-problem-1 study.
+
+The base model (Section 2) counts jobs; here each job carries an integer
+*size* in work units, servers complete work units per round, and queues
+are measured in units.  Everything else -- synchronous 3-phase rounds,
+independent dispatchers, FIFO service, common random numbers -- matches
+the base engine.  A job's response time is the round its *last* unit
+completes, minus its arrival round, plus one.
+
+Policies plug in unchanged: they see the unit-denominated queue vector
+(so JSQ ranks by least work left, SED by least expected drain time) and
+return per-server *job* counts; the engine draws each job's size from a
+:class:`JobSizeDistribution` whose stream lives with the arrival streams
+(sizes are workload, not policy, randomness).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.policies.base import Policy, SystemContext
+
+from .arrivals import ArrivalProcess
+from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .seeding import spawn_streams
+from .service import ServiceProcess
+
+__all__ = [
+    "JobSizeDistribution",
+    "DeterministicSize",
+    "GeometricSize",
+    "BimodalSize",
+    "SizedServerQueue",
+    "SizedSimulation",
+    "SizedSimulationResult",
+]
+
+
+class JobSizeDistribution(ABC):
+    """Distribution of per-job work sizes (positive integers)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` i.i.d. job sizes (int64, all >= 1)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """``E[W]``."""
+
+    @property
+    @abstractmethod
+    def second_moment(self) -> float:
+        """``E[W^2]``."""
+
+
+class DeterministicSize(JobSizeDistribution):
+    """Every job needs exactly ``size`` units; size 1 recovers the base model."""
+
+    def __init__(self, size: int = 1) -> None:
+        if size < 1:
+            raise ValueError("job size must be >= 1")
+        self.size = int(size)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.size, dtype=np.int64)
+
+    @property
+    def mean(self) -> float:
+        return float(self.size)
+
+    @property
+    def second_moment(self) -> float:
+        return float(self.size) ** 2
+
+
+class GeometricSize(JobSizeDistribution):
+    """Sizes ``1 + Geom``: support {1, 2, ...} with the given mean."""
+
+    def __init__(self, mean_size: float = 2.0) -> None:
+        if mean_size <= 1.0:
+            raise ValueError("mean size must exceed 1 (sizes start at 1)")
+        self._mean = float(mean_size)
+        # W = 1 + G with G geometric on {0,1,...} of mean m-1:
+        self._p = 1.0 / self._mean  # success prob of numpy's 1-based geometric
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.geometric(self._p, size=count).astype(np.int64)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def second_moment(self) -> float:
+        # numpy's geometric on {1,2,...}: Var = (1-p)/p^2.
+        variance = (1.0 - self._p) / (self._p**2)
+        return variance + self._mean**2
+
+
+class BimodalSize(JobSizeDistribution):
+    """Mostly small jobs with a heavy minority (the elephant/mice mix)."""
+
+    def __init__(self, small: int = 1, large: int = 20, large_prob: float = 0.05):
+        if small < 1 or large < small:
+            raise ValueError("need 1 <= small <= large")
+        if not 0.0 <= large_prob <= 1.0:
+            raise ValueError("large_prob must be in [0, 1]")
+        self.small = int(small)
+        self.large = int(large)
+        self.large_prob = float(large_prob)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        big = rng.random(count) < self.large_prob
+        return np.where(big, self.large, self.small).astype(np.int64)
+
+    @property
+    def mean(self) -> float:
+        return (1 - self.large_prob) * self.small + self.large_prob * self.large
+
+    @property
+    def second_moment(self) -> float:
+        return (
+            (1 - self.large_prob) * self.small**2
+            + self.large_prob * self.large**2
+        )
+
+
+class SizedServerQueue:
+    """FIFO queue of sized jobs; tracks remaining units of the head job."""
+
+    __slots__ = ("_jobs", "units")
+
+    def __init__(self) -> None:
+        self._jobs: deque[list[int]] = deque()  # [arrival_round, remaining]
+        self.units = 0
+
+    def admit(self, round_index: int, sizes: np.ndarray) -> None:
+        """Append jobs with the given sizes, arrived this round."""
+        for size in sizes:
+            self._jobs.append([round_index, int(size)])
+            self.units += int(size)
+
+    def complete(
+        self,
+        capacity: int,
+        now: int,
+        histogram: ResponseTimeHistogram | None,
+    ) -> int:
+        """Serve up to ``capacity`` work units FIFO; returns units served.
+
+        A job's response time is recorded when its final unit completes.
+        """
+        if capacity <= 0 or self.units == 0:
+            return 0
+        budget = min(int(capacity), self.units)
+        served = budget
+        jobs = self._jobs
+        while budget > 0:
+            head = jobs[0]
+            if head[1] <= budget:
+                budget -= head[1]
+                if histogram is not None:
+                    histogram.record(now - head[0] + 1)
+                jobs.popleft()
+            else:
+                head[1] -= budget
+                budget = 0
+        self.units -= served
+        return served
+
+    def __len__(self) -> int:
+        return self.units
+
+
+@dataclass
+class SizedSimulationResult:
+    """Metrics of one sized-job run (work accounted in units)."""
+
+    policy_name: str
+    histogram: ResponseTimeHistogram
+    queue_series: QueueLengthSeries
+    total_jobs: int
+    total_units_arrived: int
+    total_units_departed: int
+    final_units_queued: int
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average per-job response time (rounds)."""
+        return self.histogram.mean()
+
+
+class SizedSimulation:
+    """Round engine over work-unit queues (drop-in analog of Simulation)."""
+
+    def __init__(
+        self,
+        rates: np.ndarray,
+        policy: Policy,
+        arrivals: ArrivalProcess,
+        service: ServiceProcess,
+        sizes: JobSizeDistribution,
+        rounds: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        self.rates = np.asarray(rates, dtype=np.float64)
+        if service.num_servers != self.rates.size:
+            raise ValueError("service process size mismatch")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.policy = policy
+        self.arrivals = arrivals
+        self.service = service
+        self.sizes = sizes
+        self.rounds = int(rounds)
+        self._streams = spawn_streams(seed)
+        policy.bind(
+            SystemContext(
+                rates=self.rates,
+                num_dispatchers=arrivals.num_dispatchers,
+                rng=self._streams.policy,
+            )
+        )
+        arrivals.reset()
+        service.reset()
+
+    def run(self) -> SizedSimulationResult:
+        """Execute all rounds and return collected metrics."""
+        n = self.rates.size
+        m = self.arrivals.num_dispatchers
+        arrival_rng = self._streams.arrivals
+        departure_rng = self._streams.departures
+        servers = [SizedServerQueue() for _ in range(n)]
+        unit_queues = np.zeros(n, dtype=np.int64)
+        histogram = ResponseTimeHistogram()
+        series = QueueLengthSeries(rounds_hint=self.rounds)
+        total_jobs = 0
+        units_in = 0
+        units_out = 0
+
+        for t in range(self.rounds):
+            batch = self.arrivals.sample(arrival_rng, t)
+            round_jobs = int(batch.sum())
+            total_jobs += round_jobs
+
+            self.policy.begin_round(t, unit_queues)
+            if round_jobs:
+                self.policy.observe_total_arrivals(round_jobs)
+                # All dispatchers decide against the same snapshot; queue
+                # updates are deferred until every decision is made (the
+                # model's independence requirement -- as in the base
+                # engine, where `queues += received` happens after the
+                # dispatcher loop).
+                received_units = np.zeros(n, dtype=np.int64)
+                for d in range(m):
+                    k = int(batch[d])
+                    if k == 0:
+                        continue
+                    # Sizes are workload randomness: drawn for the whole
+                    # batch *before* placement from the arrival stream, so
+                    # the realized sizes (and the stream position) are
+                    # identical whatever the policy decides.
+                    job_sizes = self.sizes.sample(arrival_rng, k)
+                    counts = self.policy.dispatch(d, k)
+                    start = 0
+                    for s in np.flatnonzero(counts):
+                        stop = start + int(counts[s])
+                        chunk = job_sizes[start:stop]
+                        servers[s].admit(t, chunk)
+                        received_units[s] += int(chunk.sum())
+                        start = stop
+                unit_queues += received_units
+                units_in += int(received_units.sum())
+
+            capacities = self.service.sample(departure_rng, t)
+            busy = np.flatnonzero((unit_queues > 0) & (capacities > 0))
+            for s in busy:
+                done = servers[s].complete(int(capacities[s]), t, histogram)
+                unit_queues[s] -= done
+                units_out += done
+
+            self.policy.end_round(t, unit_queues)
+            series.record(int(unit_queues.sum()))
+
+        return SizedSimulationResult(
+            policy_name=self.policy.name,
+            histogram=histogram,
+            queue_series=series,
+            total_jobs=total_jobs,
+            total_units_arrived=units_in,
+            total_units_departed=units_out,
+            final_units_queued=int(unit_queues.sum()),
+        )

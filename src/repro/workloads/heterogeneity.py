@@ -1,0 +1,104 @@
+"""Server-rate heterogeneity profiles.
+
+The paper evaluates two profiles: *moderate* heterogeneity from mixed CPU
+generations (``mu_s ~ U[1, 10]``, Figures 3/5/6) and *high* heterogeneity
+from accelerators (``mu_s ~ U[1, 100]``, Figures 4/7/8).  The bimodal
+profile models the accelerator story explicitly (a CPU fleet plus a small
+fraction of much faster devices) and is used in the examples.
+
+Rate vectors are drawn from a dedicated seed, so the same system
+specification always has the same servers across policies and loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_rates",
+    "bimodal_rates",
+    "constant_rates",
+    "make_rates",
+]
+
+
+def _resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def uniform_rates(
+    num_servers: int,
+    low: float = 1.0,
+    high: float = 10.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Rates drawn uniformly from the real interval ``[low, high]``."""
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+    return _resolve_rng(rng).uniform(low, high, size=num_servers)
+
+
+def bimodal_rates(
+    num_servers: int,
+    slow: float = 1.0,
+    fast: float = 50.0,
+    fast_fraction: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A slow CPU fleet with a fraction of fast accelerator servers.
+
+    Exactly ``round(fast_fraction * n)`` servers (at least one) get the
+    ``fast`` rate; positions are randomized.
+    """
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise ValueError("fast_fraction must be in [0, 1]")
+    if slow <= 0 or fast <= 0:
+        raise ValueError("rates must be positive")
+    rates = np.full(num_servers, float(slow))
+    num_fast = max(1, int(round(fast_fraction * num_servers))) if fast_fraction > 0 else 0
+    if num_fast:
+        positions = _resolve_rng(rng).choice(num_servers, size=num_fast, replace=False)
+        rates[positions] = float(fast)
+    return rates
+
+
+def constant_rates(num_servers: int, value: float = 1.0) -> np.ndarray:
+    """A homogeneous system (where SCD coincides with TWF)."""
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    if value <= 0:
+        raise ValueError("rates must be positive")
+    return np.full(num_servers, float(value))
+
+
+#: Named profiles accepted by :func:`make_rates` and the scenario registry.
+_PROFILES = {
+    "u1_10": lambda n, rng: uniform_rates(n, 1.0, 10.0, rng),
+    "u1_100": lambda n, rng: uniform_rates(n, 1.0, 100.0, rng),
+    "bimodal": lambda n, rng: bimodal_rates(n, rng=rng),
+    "homogeneous": lambda n, rng: constant_rates(n),
+}
+
+
+def make_rates(
+    profile: str,
+    num_servers: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Build a rate vector from a named profile.
+
+    Profiles: ``"u1_10"`` (paper case 1), ``"u1_100"`` (paper case 2),
+    ``"bimodal"``, ``"homogeneous"``.
+    """
+    try:
+        factory = _PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise ValueError(f"unknown profile {profile!r}; known: {known}") from None
+    return factory(num_servers, rng)

@@ -1,0 +1,91 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+# ---------------------------------------------------------------------------
+# Paper worked examples (Figures 1 and 2) as fixtures.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def figure1_instance():
+    """Figure 1: rates [5,2,1,1], queues [2,1,3,1], 7 arrivals.
+
+    Paper values: iwl = 1.375, iba = [4.875, 1.75, 0, 0.375].
+    """
+    return {
+        "queues": np.array([2, 1, 3, 1], dtype=np.int64),
+        "rates": np.array([5.0, 2.0, 1.0, 1.0]),
+        "arrivals": 7,
+        "iwl": 1.375,
+        "iba": np.array([4.875, 1.75, 0.0, 0.375]),
+    }
+
+
+@pytest.fixture
+def figure2_instance():
+    """Figure 2: one fast server (mu=10, q=9), eight slow empty servers, a=7.
+
+    Paper values: iwl = 0.875; the fast server -- although *above* the
+    ideal workload -- receives probability ~0.221 (~1.55 of 7 jobs).
+    """
+    return {
+        "queues": np.array([9] + [0] * 8, dtype=np.int64),
+        "rates": np.array([10.0] + [1.0] * 8),
+        "arrivals": 7,
+        "iwl": 0.875,
+        "p_fast_approx": 0.222,
+        "expected_jobs_fast_approx": 1.55,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for random problem instances.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def server_instances(draw, max_servers: int = 24, max_queue: int = 60):
+    """A random (queues, rates) pair with well-conditioned rates."""
+    n = draw(st.integers(min_value=1, max_value=max_servers))
+    queues = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_queue),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    rates = np.array(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=0.25,
+                    max_value=64.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return queues, rates
+
+
+@st.composite
+def dispatch_instances(draw, max_servers: int = 24, max_arrivals: int = 200):
+    """A random (queues, rates, arrivals) dispatching instance."""
+    queues, rates = draw(server_instances(max_servers=max_servers))
+    arrivals = draw(st.integers(min_value=1, max_value=max_arrivals))
+    return queues, rates, arrivals
+
+
+# Re-exported so test modules can simply `from conftest import ...`.
+__all__ = ["server_instances", "dispatch_instances"]

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestPolicies:
+    def test_lists_all(self, capsys):
+        code, out = run_cli(capsys, "policies")
+        assert code == 0
+        names = out.split()
+        assert "scd" in names and "jsq" in names and "hlsq" in names
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--policy", "scd", "--servers", "15",
+            "--dispatchers", "3", "--rho", "0.8", "--rounds", "200",
+        )
+        assert code == 0
+        assert "mean" in out
+        assert "arrived=" in out
+
+    def test_save_json(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        code, out = run_cli(
+            capsys,
+            "simulate", "--policy", "jsq", "--servers", "10",
+            "--dispatchers", "2", "--rho", "0.7", "--rounds", "100",
+            "--save", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["policy_name"] == "jsq"
+
+
+class TestSweep:
+    def test_table_and_best(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--policies", "scd", "random", "--loads", "0.8",
+            "--servers", "12", "--dispatchers", "2", "--rounds", "200",
+        )
+        assert code == 0
+        assert "best at rho=0.8: scd" in out
+
+
+class TestTails:
+    def test_quantile_table(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "tails", "--policies", "scd", "sed", "--rho", "0.9",
+            "--servers", "12", "--dispatchers", "2", "--rounds", "300",
+        )
+        assert code == 0
+        assert "p99.9" in out
+
+
+class TestRuntime:
+    def test_landmarks(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "runtime", "--servers", "30", "--snapshots", "10",
+            "--sim-rounds", "15",
+        )
+        assert code == 0
+        assert "scd-alg4" in out
+        assert "p50_us" in out
+
+
+class TestStability:
+    def test_verdict_and_bound(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "stability", "--policy", "scd", "--rho", "0.8",
+            "--servers", "10", "--dispatchers", "2", "--rounds", "400",
+        )
+        assert code == 0
+        assert "STABLE" in out
+        assert "Appendix D" in out

@@ -1,0 +1,110 @@
+"""Tests for the total-arrival estimators (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    ConstantEstimator,
+    EwmaEstimator,
+    OracleTotal,
+    ScaledOwnArrivals,
+    make_estimator,
+)
+
+
+class TestScaledOwnArrivals:
+    def test_paper_formula(self):
+        est = ScaledOwnArrivals()
+        assert est.estimate(own_arrivals=7, num_dispatchers=10) == 70.0
+
+    def test_clamped_to_one(self):
+        est = ScaledOwnArrivals()
+        assert est.estimate(0, 10) == 1.0
+
+    def test_mean_of_estimates_equals_total(self):
+        """Eq. (19): the average dispatcher estimate equals true arrivals."""
+        rng = np.random.default_rng(0)
+        m = 8
+        est = ScaledOwnArrivals()
+        batches = rng.poisson(12.0, size=m)
+        estimates = [est.estimate(int(b), m) for b in batches]
+        if all(b >= 1 for b in batches):  # clamping only bites at zero
+            assert np.mean(estimates) == pytest.approx(batches.sum())
+
+
+class TestOracle:
+    def test_returns_observed_total(self):
+        est = OracleTotal()
+        est.observe_total(42)
+        assert est.estimate(3, 5) == 42.0
+
+    def test_reset_clears_state(self):
+        est = OracleTotal()
+        est.observe_total(42)
+        est.reset()
+        assert est.estimate(3, 5) == 1.0
+
+    def test_never_below_one(self):
+        est = OracleTotal()
+        est.observe_total(0)
+        assert est.estimate(0, 5) == 1.0
+
+
+class TestConstant:
+    def test_fixed_value(self):
+        est = ConstantEstimator(55.0)
+        assert est.estimate(1, 2) == 55.0
+        assert est.estimate(99, 2) == 55.0
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            ConstantEstimator(0.5)
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        est = EwmaEstimator(alpha=0.5)
+        assert est.estimate(10, 2) == 20.0
+
+    def test_smoothing(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.estimate(10, 2)  # value = 20
+        assert est.estimate(20, 2) == pytest.approx(0.5 * 20 + 0.5 * 40)
+
+    def test_alpha_one_tracks_immediately(self):
+        est = EwmaEstimator(alpha=1.0)
+        est.estimate(10, 2)
+        assert est.estimate(3, 2) == 6.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+    def test_reset(self):
+        est = EwmaEstimator(alpha=0.25)
+        est.estimate(100, 2)
+        est.reset()
+        assert est.estimate(10, 2) == 20.0
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_estimator("scaled"), ScaledOwnArrivals)
+        assert isinstance(make_estimator("oracle"), OracleTotal)
+        assert isinstance(make_estimator("ewma", alpha=0.5), EwmaEstimator)
+        assert isinstance(make_estimator("constant", value=9), ConstantEstimator)
+
+    def test_number_becomes_constant(self):
+        est = make_estimator(25)
+        assert isinstance(est, ConstantEstimator)
+        assert est.value == 25.0
+
+    def test_instance_passthrough(self):
+        est = OracleTotal()
+        assert make_estimator(est) is est
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_estimator("psychic")

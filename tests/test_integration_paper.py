@@ -1,0 +1,129 @@
+"""End-to-end shape checks against the paper's headline claims.
+
+These run scaled-down versions of the paper's experiments (smaller systems,
+fewer rounds, fixed seeds) and assert the *qualitative* results: who wins,
+who degrades, and the direction of the gaps.  The full-scale numbers live
+in the benchmark suite and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentConfig, run_simulation, tail_experiment
+from repro.workloads.scenarios import SystemSpec
+
+CONFIG = ExperimentConfig(rounds=2500, base_seed=11)
+MODERATE = SystemSpec(num_servers=40, num_dispatchers=5, profile="u1_10")
+EXTREME = SystemSpec(num_servers=40, num_dispatchers=5, profile="u1_100")
+
+
+@pytest.fixture(scope="module")
+def moderate_results():
+    policies = ["scd", "twf", "jsq", "sed", "hjsq(2)", "hjiq", "hlsq", "wr"]
+    return tail_experiment(policies, MODERATE, rho=0.9, config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def extreme_results():
+    policies = ["scd", "twf", "sed", "hlsq"]
+    return tail_experiment(policies, EXTREME, rho=0.9, config=CONFIG)
+
+
+class TestSCDWins:
+    def test_scd_has_best_mean_under_moderate_heterogeneity(self, moderate_results):
+        means = {p: r.mean_response_time for p, r in moderate_results.items()}
+        best = min(means, key=means.get)
+        assert best == "scd", means
+
+    def test_scd_has_best_mean_under_extreme_heterogeneity(self, extreme_results):
+        means = {p: r.mean_response_time for p, r in extreme_results.items()}
+        best = min(means, key=means.get)
+        assert best == "scd", means
+
+    def test_scd_has_best_p99_tail(self, moderate_results):
+        p99 = {p: r.histogram.percentile(0.99) for p, r in moderate_results.items()}
+        assert p99["scd"] == min(p99.values()), p99
+
+
+class TestTWFDegradesUnderHeterogeneity:
+    """The paper's motivating contrast: [22]'s TWF ignores rates."""
+
+    def test_twf_worse_than_scd(self, moderate_results):
+        assert (
+            moderate_results["twf"].mean_response_time
+            > moderate_results["scd"].mean_response_time
+        )
+
+    def test_twf_tail_collapses_at_high_heterogeneity(self, extreme_results):
+        """Under U[1,100], TWF's p99 degrades vs heterogeneity-aware
+        policies (Figure 4b shows an order of magnitude at high load)."""
+        p99 = {p: r.histogram.percentile(0.99) for p, r in extreme_results.items()}
+        assert p99["twf"] > 2 * p99["scd"], p99
+        assert p99["twf"] > p99["sed"], p99
+
+
+class TestHerding:
+    """More dispatchers hurt deterministic policies but not SCD."""
+
+    def test_jsq_degrades_with_more_dispatchers(self):
+        single = run_simulation(
+            "jsq", SystemSpec(40, 1, "u1_10"), rho=0.9, config=CONFIG
+        )
+        many = run_simulation(
+            "jsq", SystemSpec(40, 10, "u1_10"), rho=0.9, config=CONFIG
+        )
+        assert many.mean_response_time > 1.15 * single.mean_response_time
+
+    def test_scd_robust_to_more_dispatchers(self):
+        single = run_simulation(
+            "scd", SystemSpec(40, 1, "u1_10"), rho=0.9, config=CONFIG
+        )
+        many = run_simulation(
+            "scd", SystemSpec(40, 10, "u1_10"), rho=0.9, config=CONFIG
+        )
+        assert many.mean_response_time < 1.25 * single.mean_response_time
+
+
+class TestHeterogeneityAwareVariantsHelp:
+    def test_hjsq2_beats_jsq2(self):
+        jsq2 = run_simulation("jsq(2)", MODERATE, rho=0.9, config=CONFIG)
+        hjsq2 = run_simulation("hjsq(2)", MODERATE, rho=0.9, config=CONFIG)
+        assert hjsq2.mean_response_time < jsq2.mean_response_time
+
+    def test_hjiq_beats_jiq_at_high_load(self):
+        jiq = run_simulation("jiq", MODERATE, rho=0.95, config=CONFIG)
+        hjiq = run_simulation("hjiq", MODERATE, rho=0.95, config=CONFIG)
+        assert hjiq.mean_response_time < jiq.mean_response_time
+
+
+class TestEstimatorAblation:
+    def test_oracle_close_to_scaled(self):
+        """Eq. 18's simple estimator should be near the oracle's quality
+        (the deviations compensate, Section 5.1)."""
+        scaled = run_simulation("scd", MODERATE, rho=0.9, config=CONFIG)
+        oracle = run_simulation(
+            "scd", MODERATE, rho=0.9, config=CONFIG, estimator="oracle"
+        )
+        assert scaled.mean_response_time < 1.3 * oracle.mean_response_time
+
+    def test_wild_constant_estimate_hurts(self):
+        """An absurdly large a_est degenerates toward weighted-random."""
+        scaled = run_simulation("scd", MODERATE, rho=0.9, config=CONFIG)
+        huge = run_simulation(
+            "scd", MODERATE, rho=0.9, config=CONFIG, estimator=100_000.0
+        )
+        assert huge.mean_response_time > scaled.mean_response_time
+
+
+class TestConnectivityExtension:
+    def test_scd_with_partial_connectivity_still_works(self):
+        rng = np.random.default_rng(0)
+        m, n = MODERATE.num_dispatchers, MODERATE.num_servers
+        # Each dispatcher sees a random 60% of servers.
+        mask = rng.random((m, n)) < 0.6
+        mask[:, 0] = True  # guarantee non-empty rows
+        result = run_simulation(
+            "scd", MODERATE, rho=0.8, config=CONFIG, connectivity=mask
+        )
+        assert result.total_arrived == result.total_departed + result.final_queued
+        assert result.mean_response_time < 15.0

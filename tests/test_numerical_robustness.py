@@ -1,0 +1,148 @@
+"""Numerical robustness of the core math at extreme scales.
+
+Production clusters can present inputs far outside the evaluation's cozy
+ranges: rates spanning orders of magnitude (a CPU next to a TPU pod),
+queues in the millions after an incident, estimated arrivals in the
+hundreds of thousands.  The closed-form KKT solution must stay a valid,
+optimal distribution there -- these tests pin that down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iwl import compute_iba, compute_iwl, compute_iwl_reference
+from repro.core.probabilities import (
+    kkt_residuals,
+    scd_probabilities,
+    scd_probabilities_loop,
+)
+from repro.policies.greedy import greedy_batch_assign, greedy_certificate_ok
+
+
+def assert_valid_distribution(p):
+    assert np.all(np.isfinite(p))
+    assert np.all(p >= 0)
+    assert p.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestExtremeRates:
+    def test_six_orders_of_magnitude(self):
+        rates = np.array([1e-3, 1.0, 1e3])
+        queues = np.array([5, 5, 5])
+        iwl = compute_iwl(queues, rates, 50)
+        p = scd_probabilities(queues, rates, 50, iwl)
+        assert_valid_distribution(p)
+        # Essentially all work belongs on the fast server.
+        assert p[2] > 0.99
+
+    def test_tiny_rates_only(self):
+        rates = np.array([1e-6, 2e-6])
+        queues = np.array([3, 1])
+        iwl = compute_iwl(queues, rates, 10)
+        p = scd_probabilities(queues, rates, 10, iwl)
+        assert_valid_distribution(p)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=80)
+    def test_wild_rate_vectors(self, rate_list):
+        rates = np.array(rate_list)
+        queues = np.arange(rates.size, dtype=np.int64) * 3
+        arrivals = 40
+        iwl = compute_iwl(queues, rates, arrivals)
+        p = scd_probabilities(queues, rates, arrivals, iwl)
+        assert_valid_distribution(p)
+
+
+class TestHugeQueues:
+    def test_million_deep_queues(self):
+        queues = np.array([1_000_000, 0, 500_000])
+        rates = np.array([5.0, 1.0, 2.0])
+        iwl = compute_iwl(queues, rates, 100)
+        p = scd_probabilities(queues, rates, 100, iwl)
+        assert_valid_distribution(p)
+        assert p[1] > 0.9  # the empty server takes nearly everything
+
+    def test_iwl_precision_at_scale(self):
+        queues = np.array([10**7, 10**7 + 3])
+        rates = np.ones(2)
+        iwl = compute_iwl(queues, rates, 5)
+        reference = compute_iwl_reference(queues, rates, 5)
+        assert iwl == pytest.approx(reference, rel=1e-12)
+        iba = compute_iba(queues, rates, iwl)
+        assert iba.sum() == pytest.approx(5.0, abs=1e-6)
+
+
+class TestHugeArrivals:
+    def test_hundred_thousand_estimate(self):
+        rng = np.random.default_rng(0)
+        queues = rng.integers(0, 100, size=50)
+        rates = rng.uniform(1, 10, size=50)
+        a = 100_000
+        iwl = compute_iwl(queues, rates, a)
+        p = scd_probabilities(queues, rates, a, iwl)
+        assert_valid_distribution(p)
+        res = kkt_residuals(p, queues, rates, a, iwl)
+        assert res["stationarity"] < 1e-4  # scaled by the huge a
+
+    def test_loop_and_vectorized_agree_at_scale(self):
+        rng = np.random.default_rng(1)
+        queues = rng.integers(0, 10**6, size=200)
+        rates = rng.uniform(0.01, 100.0, size=200)
+        a = 50_000
+        iwl = compute_iwl(queues, rates, a)
+        np.testing.assert_allclose(
+            scd_probabilities(queues, rates, a, iwl),
+            scd_probabilities_loop(queues, rates, a, iwl),
+            atol=1e-9,
+        )
+
+
+class TestLargeSystems:
+    def test_ten_thousand_servers(self):
+        rng = np.random.default_rng(2)
+        queues = rng.integers(0, 50, size=10_000)
+        rates = rng.uniform(1, 100, size=10_000)
+        a = int(rates.sum() * 0.9)
+        iwl = compute_iwl(queues, rates, a)
+        p = scd_probabilities(queues, rates, a, iwl)
+        assert_valid_distribution(p)
+
+    def test_greedy_at_scale(self):
+        rng = np.random.default_rng(3)
+        queues = rng.integers(0, 50, size=5_000)
+        rates = rng.uniform(1, 10, size=5_000)
+        counts = greedy_batch_assign(queues, rates, 25_000)
+        assert counts.sum() == 25_000
+        assert greedy_certificate_ok(queues, rates, counts)
+
+
+class TestDegenerateShapes:
+    def test_single_server_gets_everything(self):
+        p = scd_probabilities(np.array([7]), np.array([2.0]), 10, 8.5)
+        np.testing.assert_allclose(p, [1.0])
+
+    def test_two_identical_servers_split(self):
+        queues = np.array([4, 4])
+        rates = np.array([3.0, 3.0])
+        iwl = compute_iwl(queues, rates, 6)
+        p = scd_probabilities(queues, rates, 6, iwl)
+        np.testing.assert_allclose(p, [0.5, 0.5], atol=1e-12)
+
+    def test_all_empty_heterogeneous(self):
+        queues = np.zeros(5, dtype=np.int64)
+        rates = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        a = 31
+        iwl = compute_iwl(queues, rates, a)
+        assert iwl == pytest.approx(1.0)
+        p = scd_probabilities(queues, rates, a, iwl)
+        assert_valid_distribution(p)
+        # Probabilities order like the rates (faster -> more likely).
+        assert np.all(np.diff(p) > 0)

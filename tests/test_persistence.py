@@ -1,0 +1,91 @@
+"""Tests for JSON result/sweep persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistence import (
+    load_result,
+    load_sweep,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.analysis.runner import ExperimentConfig, mean_response_sweep, run_simulation
+from repro.workloads.scenarios import SystemSpec
+
+SYSTEM = SystemSpec(num_servers=10, num_dispatchers=2, profile="u1_10")
+CONFIG = ExperimentConfig(rounds=200, base_seed=0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation("scd", SYSTEM, rho=0.8, config=CONFIG)
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_is_lossless(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.policy_name == result.policy_name
+        assert restored.total_arrived == result.total_arrived
+        assert restored.total_departed == result.total_departed
+        assert restored.final_queued == result.final_queued
+        np.testing.assert_array_equal(restored.final_queues, result.final_queues)
+        np.testing.assert_array_equal(
+            restored.histogram.counts, result.histogram.counts
+        )
+        np.testing.assert_array_equal(
+            restored.queue_series.values, result.queue_series.values
+        )
+        assert restored.mean_response_time == result.mean_response_time
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "sub" / "run.json")
+        assert path.exists()
+        restored = load_result(path)
+        assert restored.summary() == result.summary()
+
+    def test_payload_is_plain_json(self, result):
+        json.dumps(result_to_dict(result))  # must not raise
+
+    def test_version_check(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_series_absence_preserved(self, tmp_path):
+        from repro.sim.engine import SimulationConfig
+        import repro
+
+        run = repro.Simulation(
+            rates=np.ones(3),
+            policy=repro.make_policy("jsq"),
+            arrivals=repro.PoissonArrivals(np.ones(2)),
+            service=repro.GeometricService(np.ones(3)),
+            config=SimulationConfig(rounds=50, track_queue_series=False),
+        ).run()
+        restored = result_from_dict(result_to_dict(run))
+        assert restored.queue_series is None
+
+
+class TestSweepRoundTrip:
+    def test_round_trip(self, tmp_path):
+        sweep = mean_response_sweep(["scd", "wr"], SYSTEM, (0.6, 0.9), CONFIG)
+        restored = load_sweep(save_sweep(sweep, tmp_path / "sweep.json"))
+        assert restored.policies == sweep.policies
+        assert restored.loads == sweep.loads
+        assert restored.system == sweep.system
+        for policy in sweep.policies:
+            assert restored.row(policy) == sweep.row(policy)
+
+    def test_version_check(self):
+        sweep = mean_response_sweep(["wr"], SYSTEM, (0.5,), CONFIG)
+        payload = sweep_to_dict(sweep)
+        payload["format_version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            sweep_from_dict(payload)

@@ -1,0 +1,68 @@
+"""Cross-validation of the production solvers against independent oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import dispatch_instances
+from repro.core.iwl import compute_iwl
+from repro.core.probabilities import scd_objective, scd_probabilities
+from repro.core.qp_reference import brute_force_probabilities, slsqp_probabilities
+
+
+class TestBruteForce:
+    """Exhaustive 2^n enumeration must agree with the prefix search."""
+
+    @given(dispatch_instances(max_servers=8, max_arrivals=60))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_search_is_globally_optimal(self, instance):
+        queues, rates, arrivals = instance
+        iwl = compute_iwl(queues, rates, arrivals)
+        fast = scd_probabilities(queues, rates, arrivals, iwl)
+        exact = brute_force_probabilities(queues, rates, arrivals, iwl)
+        # Objective values must match (probability vectors may differ only
+        # under exact objective ties).
+        val_fast = scd_objective(fast, queues, rates, arrivals, iwl)
+        val_exact = scd_objective(exact, queues, rates, arrivals, iwl)
+        assert val_fast == pytest.approx(val_exact, rel=1e-9, abs=1e-9)
+        np.testing.assert_allclose(fast, exact, atol=1e-6)
+
+    def test_figure2_brute_force(self, figure2_instance):
+        inst = figure2_instance
+        p = brute_force_probabilities(
+            inst["queues"], inst["rates"], inst["arrivals"], inst["iwl"]
+        )
+        assert p[0] == pytest.approx(inst["p_fast_approx"], abs=5e-3)
+
+    def test_size_guard(self):
+        q = np.zeros(20, dtype=np.int64)
+        mu = np.ones(20)
+        with pytest.raises(ValueError):
+            brute_force_probabilities(q, mu, 5, 0.25)
+
+
+class TestSLSQP:
+    """The numeric QP solver agrees at sizes beyond brute force."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_medium_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        queues = rng.integers(0, 40, size=n)
+        rates = rng.uniform(0.5, 20.0, size=n)
+        arrivals = int(rng.integers(2, 150))
+        iwl = compute_iwl(queues, rates, arrivals)
+        fast = scd_probabilities(queues, rates, arrivals, iwl)
+        numeric = slsqp_probabilities(queues, rates, arrivals, iwl)
+        val_fast = scd_objective(fast, queues, rates, arrivals, iwl)
+        val_num = scd_objective(numeric, queues, rates, arrivals, iwl)
+        # The closed form can only be at least as good as the numeric
+        # solution, and they should be near-identical.
+        assert val_fast <= val_num + 1e-6 * max(1.0, abs(val_num))
+        np.testing.assert_allclose(fast, numeric, atol=5e-4)
+
+    def test_single_job_shortcut(self):
+        q = np.array([2, 0])
+        mu = np.array([1.0, 1.0])
+        p = slsqp_probabilities(q, mu, 1, compute_iwl(q, mu, 1))
+        np.testing.assert_allclose(p, [0.0, 1.0])

@@ -1,0 +1,100 @@
+"""Stability tests (Appendix D): SCD is stable; oblivious policies are not.
+
+The paper proves SCD's strong stability for any admissible load and notes
+(footnote 1) that heterogeneity-oblivious randomized policies can be
+unstable in heterogeneous systems.  These are finite-run empirical checks
+on deliberately stark systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import assess_stability
+from repro.policies.base import make_policy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.service import GeometricService
+
+
+def run(policy_name, rates, rho, rounds=3000, m=4, seed=0, **policy_kwargs):
+    rates = np.asarray(rates, dtype=np.float64)
+    lambdas = np.full(m, rho * rates.sum() / m)
+    sim = Simulation(
+        rates=rates,
+        policy=make_policy(policy_name, **policy_kwargs),
+        arrivals=PoissonArrivals(lambdas),
+        service=GeometricService(rates),
+        config=SimulationConfig(rounds=rounds, seed=seed),
+    )
+    return sim.run()
+
+
+# A starkly heterogeneous system: one server holds ~83% of the capacity.
+STARK_RATES = np.array([50.0] + [1.0] * 10)
+
+
+class TestSCDStability:
+    @pytest.mark.parametrize("rho", [0.5, 0.9, 0.95])
+    def test_scd_stable_at_admissible_loads(self, rho):
+        result = run("scd", STARK_RATES, rho)
+        verdict = assess_stability(result, STARK_RATES.sum())
+        assert verdict.stable, str(verdict)
+
+    def test_scd_stable_with_any_bounded_estimator(self):
+        """Appendix D: stability holds for any estimator in [1, inf)."""
+        for estimator in ["scaled", "oracle", 30.0]:
+            result = run("scd", STARK_RATES, 0.9, estimator=estimator)
+            verdict = assess_stability(result, STARK_RATES.sum())
+            assert verdict.stable, f"{estimator}: {verdict}"
+
+    def test_sed_stable_here_too(self):
+        # SED herds but remains stable (it is work-conserving toward the
+        # fast server); included to show the check is not trigger-happy.
+        result = run("sed", STARK_RATES, 0.9)
+        assert assess_stability(result, STARK_RATES.sum()).stable
+
+
+class TestObliviousInstability:
+    def test_uniform_random_unstable_under_heterogeneity(self):
+        """Uniform random gives each server 1/n of the jobs; the slow
+        servers' share exceeds their capacity at rho = 0.95."""
+        result = run("random", STARK_RATES, 0.95, rounds=4000)
+        verdict = assess_stability(result, STARK_RATES.sum())
+        assert not verdict.stable, str(verdict)
+
+    def test_jsq2_unstable_under_stark_heterogeneity(self):
+        """JSQ(2)'s uniform sampling caps the fast server's arrival share
+        near 2/n + local corrections -- far below its 83% capacity share,
+        so the slow servers drown (the paper's instability remark)."""
+        result = run("jsq(2)", STARK_RATES, 0.95, rounds=4000)
+        verdict = assess_stability(result, STARK_RATES.sum())
+        assert not verdict.stable, str(verdict)
+
+    def test_wr_stable_where_uniform_is_not(self):
+        """Weighted random matches shares to capacity: stable (if slow)."""
+        result = run("wr", STARK_RATES, 0.9, rounds=4000)
+        assert assess_stability(result, STARK_RATES.sum()).stable
+
+    def test_overload_is_unstable_for_everyone(self):
+        result = run("scd", STARK_RATES, 1.3, rounds=2000)
+        verdict = assess_stability(result, STARK_RATES.sum())
+        assert not verdict.stable
+
+
+class TestVerdictAPI:
+    def test_requires_queue_series(self):
+        rates = np.ones(2)
+        sim = Simulation(
+            rates=rates,
+            policy=make_policy("jsq"),
+            arrivals=PoissonArrivals(np.ones(1)),
+            service=GeometricService(rates),
+            config=SimulationConfig(rounds=50, track_queue_series=False),
+        )
+        with pytest.raises(ValueError):
+            assess_stability(sim.run(), rates.sum())
+
+    def test_str_rendering(self):
+        result = run("scd", STARK_RATES, 0.5, rounds=500)
+        verdict = assess_stability(result, STARK_RATES.sum())
+        assert "STABLE" in str(verdict)

@@ -1,0 +1,157 @@
+"""Tests for heterogeneity profiles and the paper's scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.heterogeneity import (
+    bimodal_rates,
+    constant_rates,
+    make_rates,
+    uniform_rates,
+)
+from repro.workloads.scenarios import (
+    PAPER_LOADS,
+    PAPER_SYSTEMS,
+    TAIL_LOADS,
+    SystemSpec,
+    lambdas_for_load,
+    paper_system,
+)
+
+
+class TestRateSamplers:
+    def test_uniform_range(self):
+        rates = uniform_rates(1000, 1.0, 10.0, rng=0)
+        assert rates.min() >= 1.0
+        assert rates.max() <= 10.0
+        assert rates.mean() == pytest.approx(5.5, rel=0.05)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_rates(0)
+        with pytest.raises(ValueError):
+            uniform_rates(5, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_rates(5, 0.0, 1.0)
+
+    def test_bimodal_counts(self):
+        rates = bimodal_rates(100, slow=1.0, fast=50.0, fast_fraction=0.1, rng=0)
+        assert (rates == 50.0).sum() == 10
+        assert (rates == 1.0).sum() == 90
+
+    def test_bimodal_zero_fraction(self):
+        rates = bimodal_rates(10, fast_fraction=0.0)
+        assert np.all(rates == 1.0)
+
+    def test_bimodal_at_least_one_fast(self):
+        rates = bimodal_rates(100, fast_fraction=0.001, rng=1)
+        assert (rates > 1.0).sum() == 1
+
+    def test_constant(self):
+        np.testing.assert_array_equal(constant_rates(3, 2.0), [2.0, 2.0, 2.0])
+
+    def test_make_rates_profiles(self):
+        for profile in ["u1_10", "u1_100", "bimodal", "homogeneous"]:
+            rates = make_rates(profile, 20, rng=0)
+            assert rates.shape == (20,)
+            assert np.all(rates > 0)
+
+    def test_make_rates_unknown(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            make_rates("exotic", 5)
+
+
+class TestSystemSpec:
+    def test_rates_are_deterministic(self):
+        spec = SystemSpec(50, 5, "u1_10")
+        np.testing.assert_array_equal(spec.rates(), spec.rates())
+
+    def test_different_sizes_different_rates(self):
+        a = SystemSpec(50, 5, "u1_10").rates()
+        b = SystemSpec(60, 5, "u1_10").rates()
+        assert not np.array_equal(a[:50], b[:50]) or a.size != b.size
+
+    def test_name_format(self):
+        assert SystemSpec(100, 10, "u1_100").name == "n100_m10_u1_100"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemSpec(0, 5)
+        with pytest.raises(ValueError):
+            SystemSpec(5, 0)
+
+    def test_lambdas_give_requested_load(self):
+        spec = SystemSpec(30, 4, "u1_10")
+        rates = spec.rates()
+        for rho in [0.5, 0.9, 0.99]:
+            lambdas = spec.lambdas(rho)
+            assert lambdas.sum() == pytest.approx(rho * rates.sum())
+            assert np.all(lambdas == lambdas[0])  # symmetric dispatchers
+
+
+class TestLambdasForLoad:
+    def test_formula(self):
+        lambdas = lambdas_for_load(0.8, np.array([5.0, 5.0]), 4)
+        np.testing.assert_allclose(lambdas, 0.8 * 10.0 / 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lambdas_for_load(-0.1, np.ones(2), 1)
+
+    def test_overload_allowed_for_instability_experiments(self):
+        lambdas = lambdas_for_load(1.2, np.ones(2), 1)
+        assert lambdas[0] == pytest.approx(2.4)
+
+
+class TestPaperRegistry:
+    def test_four_systems_per_profile(self):
+        for profile in ("u1_10", "u1_100"):
+            systems = PAPER_SYSTEMS[profile]
+            assert [(s.num_servers, s.num_dispatchers) for s in systems] == [
+                (100, 5),
+                (100, 10),
+                (200, 10),
+                (200, 20),
+            ]
+
+    def test_rate_ranges_match_profiles(self):
+        for spec in PAPER_SYSTEMS["u1_10"]:
+            rates = spec.rates()
+            assert rates.min() >= 1.0 and rates.max() <= 10.0
+        for spec in PAPER_SYSTEMS["u1_100"]:
+            rates = spec.rates()
+            assert rates.max() > 10.0  # actually uses the wider range
+
+    def test_load_grids(self):
+        assert 0.99 in PAPER_LOADS
+        assert TAIL_LOADS == (0.70, 0.90, 0.99)
+        assert all(0 < rho < 1 for rho in PAPER_LOADS)
+
+    def test_paper_system_helper(self):
+        spec = paper_system(100, 10, "u1_100")
+        assert spec.num_servers == 100
+        assert spec.profile == "u1_100"
+
+
+class TestAsymmetricLambdas:
+    def test_weights_split_total(self):
+        rates = np.array([5.0, 5.0])
+        lambdas = lambdas_for_load(0.8, rates, 4, weights=np.array([1, 1, 2, 4]))
+        assert lambdas.sum() == pytest.approx(8.0)
+        np.testing.assert_allclose(lambdas, [1.0, 1.0, 2.0, 4.0])
+
+    def test_weights_shape_validated(self):
+        with pytest.raises(ValueError, match="one entry per dispatcher"):
+            lambdas_for_load(0.5, np.ones(2), 3, weights=np.ones(2))
+
+    def test_weights_values_validated(self):
+        with pytest.raises(ValueError):
+            lambdas_for_load(0.5, np.ones(2), 2, weights=np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            lambdas_for_load(0.5, np.ones(2), 2, weights=np.zeros(2))
+
+    def test_spec_lambdas_accept_weights(self):
+        spec = SystemSpec(10, 3, "u1_10")
+        lambdas = spec.lambdas(0.9, weights=np.array([1.0, 2.0, 3.0]))
+        assert lambdas.sum() == pytest.approx(0.9 * spec.rates().sum())
+        assert lambdas[2] == pytest.approx(3 * lambdas[0])
