@@ -15,6 +15,11 @@ Scaling knobs (environment variables):
     below that, and EXPERIMENTS.md records the horizon used.
 ``REPRO_BENCH_LOADS``
     Comma-separated offered loads (default ``0.7,0.9,0.99``).
+``REPRO_BENCH_WORKERS``
+    Process-pool workers for the per-policy load grids (default 1 =
+    serial, so a benchmark cell times the simulation itself; raising it
+    speeds up full-suite runs without changing any results -- cell seeds
+    are scheduling-independent).
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ BENCH_LOADS = tuple(
     float(x) for x in os.environ.get("REPRO_BENCH_LOADS", "0.7,0.9,0.99").split(",")
 )
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Policies in the main-body figures (3 and 4).
 MAIN_POLICIES = ("scd", "twf", "jsq", "sed", "hjsq(2)", "hjiq", "hlsq")
@@ -40,16 +46,34 @@ EXTRA_POLICIES = ("scd", "jsq(2)", "jiq", "lsq", "wr")
 CONFIG = repro.ExperimentConfig(rounds=BENCH_ROUNDS, base_seed=BENCH_SEED)
 
 
+def grid_experiment(
+    policies, system: repro.SystemSpec, loads=None
+) -> repro.Experiment:
+    """The benchmark suite's standard declarative grid for one system."""
+    return repro.Experiment(
+        policies=policies,
+        systems=system,
+        loads=loads if loads is not None else BENCH_LOADS,
+        rounds=BENCH_ROUNDS,
+        base_seed=BENCH_SEED,
+    )
+
+
 def run_policy_over_loads(policy: str, system: repro.SystemSpec) -> dict[float, dict]:
-    """Simulate one policy over the load grid; returns per-load summaries."""
+    """Simulate one policy over the load grid; returns per-load summaries.
+
+    Declared as a one-policy :class:`repro.Experiment`; the default
+    workload keeps results bit-identical to the historical per-cell
+    ``run_simulation`` loop.
+    """
+    result = grid_experiment(policy, system).run(workers=BENCH_WORKERS)
     out: dict[float, dict] = {}
-    for rho in BENCH_LOADS:
-        result = repro.run_simulation(policy, system, rho, CONFIG)
-        summary = result.summary()
+    for record in result.records:
+        summary = record.result.summary()
         summary["p_1e-3"] = float(
-            repro.tail_quantiles(result.histogram, (1e-3,))[1e-3]
+            repro.tail_quantiles(record.result.histogram, (1e-3,))[1e-3]
         )
-        out[rho] = summary
+        out[record.rho] = summary
     return out
 
 

@@ -35,28 +35,30 @@ SKEWS = (1.0, 1.5, 3.0)
 
 
 def run_with_skew(skew: float) -> dict[str, float]:
-    rates = SYSTEM.rates()
+    """One skew level as a declarative experiment cell set.
+
+    ``WorkloadSpec.skewed`` realizes the geometric split (dispatcher d's
+    share proportional to ``skew^d`` at equal total load) and seeds the
+    realization from the workload name, so all three policies see the
+    same skewed arrivals.
+    """
+    workload = repro.WorkloadSpec.skewed(skew)
     weights = skew ** np.arange(SYSTEM.num_dispatchers, dtype=np.float64)
-    lambdas = repro.lambdas_for_load(
-        RHO, rates, SYSTEM.num_dispatchers, weights=weights
+    oracle = repro.PolicySpec.of("scd", estimator="oracle")
+    experiment = repro.Experiment(
+        policies=("scd", oracle, "sed"),
+        systems=SYSTEM,
+        loads=RHO,
+        workloads=workload,
+        rounds=BENCH_ROUNDS,
+        base_seed=BENCH_SEED,
     )
-    seed = repro.derive_seed(BENCH_SEED, SYSTEM.name, round(RHO * 1e4), round(skew * 10))
-
-    def simulate(policy, **kwargs):
-        sim = repro.Simulation(
-            rates=rates,
-            policy=repro.make_policy(policy, **kwargs),
-            arrivals=repro.PoissonArrivals(lambdas),
-            service=repro.GeometricService(rates),
-            config=repro.SimulationConfig(rounds=BENCH_ROUNDS, seed=seed),
-        )
-        return sim.run().mean_response_time
-
+    result = experiment.run(keep_results=False)
     return {
         "max_share": float(weights.max() / weights.sum()),
-        "scd": simulate("scd"),
-        "scd-oracle": simulate("scd", estimator="oracle"),
-        "sed": simulate("sed"),
+        "scd": result.metric("mean", policy="scd"),
+        "scd-oracle": result.metric("mean", policy=oracle.label),
+        "sed": result.metric("mean", policy="sed"),
     }
 
 

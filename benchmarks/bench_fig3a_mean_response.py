@@ -44,12 +44,13 @@ def test_fig3a_scd_wins_at_high_load(benchmark, system):
     rho = max(BENCH_LOADS)
 
     def head_to_head():
-        from _common import CONFIG
+        from _common import grid_experiment
 
-        return {
-            policy: repro.run_simulation(policy, system, rho, CONFIG).mean_response_time
-            for policy in ("scd", "twf", "sed", "hjsq(2)")
-        }
+        experiment = grid_experiment(
+            ("scd", "twf", "sed", "hjsq(2)"), system, loads=rho
+        )
+        result = experiment.run(keep_results=False)
+        return {r.policy: r.metrics["mean"] for r in result.records}
 
     means = benchmark.pedantic(head_to_head, rounds=1, iterations=1)
     benchmark.extra_info.update({p: round(v, 3) for p, v in means.items()})

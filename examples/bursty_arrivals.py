@@ -4,46 +4,27 @@
 The paper's model only assumes arrivals are stochastic and unknown; its
 evaluation uses steady Poisson traffic.  Real entry points see correlated
 surges -- a marketing event or a retry storm hits *all* dispatchers at
-once.  This example drives the same cluster with a two-state modulated
-Poisson process (calm / surge, the phase shared by all dispatchers) and
-compares policies at equal *average* load.
+once.  This example declares ONE experiment grid with TWO workloads --
+the paper's steady Poisson workload and ``WorkloadSpec.bursty`` (a
+two-state modulated Poisson whose calm/surge phase is shared by all
+dispatchers) at equal *average* load -- and compares policies across
+both.
 
-Surges are where herding bites hardest: a burst arrives exactly when every
-dispatcher is staring at the same few short queues.  SCD's per-round
-optimization re-plans with the estimated burst size (Eq. 18 scales with
-the dispatcher's own observed batch), so its advantage should widen here.
+Surges are where herding bites hardest: a burst arrives exactly when
+every dispatcher is staring at the same few short queues.  SCD's
+per-round optimization re-plans with the estimated burst size (Eq. 18
+scales with the dispatcher's own observed batch), so its advantage
+should widen here.
 
 Run:
-    python examples/bursty_arrivals.py [--rounds N] [--surge-factor F]
+    python examples/bursty_arrivals.py [--rounds N] [--surge-factor F] [--workers W]
 """
 
 import argparse
 
-import numpy as np
-
 import repro
 
-
-def run_policy(policy: str, system: repro.SystemSpec, bursty: bool,
-               surge_factor: float, rounds: int) -> repro.SimulationResult:
-    rates = system.rates()
-    mean_lambdas = system.lambdas(0.85)
-    if bursty:
-        # Calm/surge rates whose 50/50 mixture matches the steady mean.
-        calm = 2.0 * mean_lambdas / (1.0 + surge_factor)
-        surge = surge_factor * calm
-        arrivals = repro.ModulatedPoissonArrivals(calm, surge, switch_prob=0.05)
-    else:
-        arrivals = repro.PoissonArrivals(mean_lambdas)
-    return repro.simulate(
-        rates=rates,
-        policy=repro.make_policy(policy),
-        arrivals=arrivals,
-        service=repro.GeometricService(rates),
-        config=repro.SimulationConfig(
-            rounds=rounds, seed=repro.derive_seed(31, system.name, bursty)
-        ),
-    )
+RHO = 0.85
 
 
 def main() -> None:
@@ -53,27 +34,45 @@ def main() -> None:
         "--surge-factor", type=float, default=3.0,
         help="surge-phase arrival rate relative to the calm phase",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers (results are identical to serial)",
+    )
     args = parser.parse_args()
 
     system = repro.SystemSpec(num_servers=80, num_dispatchers=10, profile="u1_10")
     policies = ["scd", "sed", "hjsq(2)", "hlsq"]
 
-    print(
-        f"80 servers, 10 dispatchers, mean load 0.85; surge phase is "
-        f"{args.surge_factor}x the calm phase,\nphase shared by all "
-        f"dispatchers (correlated bursts).\n"
+    experiment = repro.Experiment(
+        policies=policies,
+        systems=system,
+        loads=RHO,
+        workloads=[
+            repro.WorkloadSpec.paper(),
+            repro.WorkloadSpec.bursty(args.surge_factor, name="bursty"),
+        ],
+        rounds=args.rounds,
+        base_seed=31,
     )
+
+    print(
+        f"80 servers, 10 dispatchers, mean load {RHO}; surge phase is "
+        f"{args.surge_factor}x the calm phase,\nphase shared by all "
+        f"dispatchers (correlated bursts).  {experiment.size} cells.\n"
+    )
+    result = experiment.run(workers=args.workers)
+
     rows = []
     for policy in policies:
-        steady = run_policy(policy, system, False, args.surge_factor, args.rounds)
-        burst = run_policy(policy, system, True, args.surge_factor, args.rounds)
+        steady = result.only(policy=policy, workload="paper")
+        burst = result.only(policy=policy, workload="bursty")
         rows.append(
             [
                 policy,
-                steady.mean_response_time,
-                burst.mean_response_time,
-                float(steady.histogram.percentile(0.999)),
-                float(burst.histogram.percentile(0.999)),
+                steady.metrics["mean"],
+                burst.metrics["mean"],
+                steady.metrics["p999"],
+                burst.metrics["p999"],
             ]
         )
     print(
@@ -82,10 +81,14 @@ def main() -> None:
             rows,
         )
     )
-    scd_row = next(r for r in rows if r[0] == "scd")
-    rest_bursty_mean = min(r[2] for r in rows if r[0] != "scd")
+    scd_bursty = result.metric("mean", policy="scd", workload="bursty")
+    rest_bursty_mean = min(
+        result.metric("mean", policy=p, workload="bursty")
+        for p in policies
+        if p != "scd"
+    )
     print(
-        f"\nUnder bursts SCD's mean is {rest_bursty_mean / scd_row[2]:.2f}x "
+        f"\nUnder bursts SCD's mean is {rest_bursty_mean / scd_bursty:.2f}x "
         f"better than the best alternative."
     )
 

@@ -4,11 +4,13 @@
 Models a fleet of commodity CPU servers plus a 10% slice of much faster
 accelerator nodes (GPU/FPGA-class, 40x the CPU rate) -- the "higher
 heterogeneity" regime the paper attributes to accelerator deployments.
-Compares heterogeneity-aware and -oblivious policies across offered loads,
-and reports the tail quantiles that dominate user experience.
+Declares the whole comparison as ONE :class:`repro.Experiment` grid
+(policies x loads), runs it -- optionally on a process pool -- and
+reports both the mean-response sweep and the tail quantiles that
+dominate user experience.
 
 Run:
-    python examples/heterogeneous_datacenter.py [--rounds N] [--loads 0.8 0.95]
+    python examples/heterogeneous_datacenter.py [--rounds N] [--loads 0.8 0.95] [--workers W]
 """
 
 import argparse
@@ -30,28 +32,48 @@ def build_system() -> tuple[repro.SystemSpec, np.ndarray]:
     return system, rates
 
 
-def sweep(system: repro.SystemSpec, loads: list[float], rounds: int) -> None:
-    policies = ["scd", "twf", "sed", "hjsq(2)", "hlsq", "wr"]
-    config = repro.ExperimentConfig(rounds=rounds, base_seed=3)
+POLICIES = ["scd", "twf", "sed", "hjsq(2)", "hlsq", "wr"]
+
+
+def run_grid(
+    system: repro.SystemSpec, loads: list[float], rounds: int, workers: int
+) -> repro.ExperimentResult:
+    experiment = repro.Experiment(
+        policies=POLICIES,
+        systems=system,
+        loads=loads,
+        rounds=rounds,
+        base_seed=3,
+    )
+    print(
+        f"\nRunning {experiment.size} (policy, load) cells on "
+        f"{workers} worker(s)..."
+    )
+    return experiment.run(workers=workers)
+
+
+def report_sweep(result: repro.ExperimentResult, loads: list[float]) -> None:
     print("\nMean response time by offered load")
-    result = repro.mean_response_sweep(policies, system, tuple(loads), config)
+    sweep = result.to_sweep()
     print(
         repro.format_series_table(
-            "rho", loads, {p: result.row(p) for p in policies}
+            "rho", list(loads), {p: sweep.row(p) for p in POLICIES}
         )
     )
     for rho in loads:
         print(f"  best at rho={rho}: {result.best_policy_at(rho)}")
 
 
-def tails(system: repro.SystemSpec, rho: float, rounds: int) -> None:
-    policies = ["scd", "twf", "sed", "hlsq"]
-    config = repro.ExperimentConfig(rounds=rounds, base_seed=3)
-    results = repro.tail_experiment(policies, system, rho, config)
+def report_tails(result: repro.ExperimentResult, rho: float) -> None:
+    tail_policies = ("scd", "twf", "sed", "hlsq")
+    at_load = result.filter(rho=rho, policy=tail_policies)
     print(f"\nTail quantiles at rho = {rho} (response time in rounds)")
+    histograms = {
+        record.policy: record.result.histogram for record in at_load.records
+    }
     rows = []
-    for policy, result in results.items():
-        q = repro.tail_quantiles(result.histogram, (1e-1, 1e-2, 1e-3))
+    for policy in tail_policies:
+        q = repro.tail_quantiles(histograms[policy], (1e-1, 1e-2, 1e-3))
         rows.append([policy, q[1e-1], q[1e-2], q[1e-3]])
     print(
         repro.format_table(
@@ -59,8 +81,8 @@ def tails(system: repro.SystemSpec, rho: float, rounds: int) -> None:
         )
     )
     factor, runner_up = repro.tail_improvement_factor(
-        results["scd"].histogram,
-        {p: r.histogram for p, r in results.items() if p != "scd"},
+        histograms["scd"],
+        {p: h for p, h in histograms.items() if p != "scd"},
         level=1e-3,
     )
     print(f"\nSCD's p99.9 is {factor:.2f}x shorter than the runner-up ({runner_up})")
@@ -72,10 +94,15 @@ def main() -> None:
     parser.add_argument(
         "--loads", type=float, nargs="+", default=[0.7, 0.9, 0.99]
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers (results are identical to serial)",
+    )
     args = parser.parse_args()
     system, _ = build_system()
-    sweep(system, args.loads, args.rounds)
-    tails(system, max(args.loads), args.rounds)
+    result = run_grid(system, args.loads, args.rounds, args.workers)
+    report_sweep(result, args.loads)
+    report_tails(result, max(args.loads))
 
 
 if __name__ == "__main__":

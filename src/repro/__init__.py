@@ -3,15 +3,34 @@
 A complete reproduction of Goren, Vargaftik & Moses (PODC 2021): the SCD
 dispatching policy and its supporting mathematics, ten baseline policies,
 and a synchronous-round cluster simulator with the paper's evaluation
-protocol.
+protocol exposed as a declarative :class:`Experiment` grid.
 
 Quickstart
 ----------
+Declare the evaluation grid -- policies x systems x loads x replications
+(x workloads) -- and run it, serially or on a process pool:
+
 >>> import repro
+>>> exp = repro.Experiment(
+...     policies=["scd", "jsq", "sed"],
+...     systems=repro.SystemSpec(num_servers=50, num_dispatchers=5),
+...     loads=[0.7, 0.9],
+...     replications=2,
+...     rounds=2000,
+... )
+>>> result = exp.run(workers=4)        # same records as workers=1
+>>> result.best_policy_at(0.9)  # doctest: +SKIP
+'scd'
+
+Workloads are pluggable (``repro.WorkloadSpec.skewed(3.0)``,
+``.bursty()``, ``.sized(...)``, or arbitrary arrival/service factories);
+the default is the paper's Poisson+geometric workload, and single runs
+through the legacy helper reproduce it bit-for-bit:
+
 >>> system = repro.SystemSpec(num_servers=50, num_dispatchers=5, profile="u1_10")
->>> result = repro.run_simulation("scd", system, rho=0.9,
+>>> single = repro.run_simulation("scd", system, rho=0.9,
 ...                               config=repro.ExperimentConfig(rounds=2000))
->>> result.mean_response_time  # doctest: +SKIP
+>>> single.mean_response_time  # doctest: +SKIP
 2.1...
 
 The core math is importable directly:
@@ -30,8 +49,10 @@ from .analysis.replication import (
 )
 from .analysis.herding import HerdingProbe, HerdingStats
 from .analysis.persistence import (
+    load_experiment,
     load_result,
     load_sweep,
+    save_experiment,
     save_result,
     save_sweep,
 )
@@ -44,6 +65,19 @@ from .analysis.runner import (
 )
 from .analysis.stability import StabilityVerdict, assess_stability
 from .analysis.tables import format_series_table, format_table
+from .experiments import (
+    BurstyArrivalFactory,
+    Cell,
+    CellRecord,
+    Executor,
+    Experiment,
+    ExperimentResult,
+    PolicySpec,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkloadSpec,
+    simulate_cell,
+)
 from .core.estimation import (
     ArrivalEstimator,
     ConstantEstimator,
@@ -121,6 +155,20 @@ from .workloads.scenarios import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # declarative experiments
+    "Experiment",
+    "ExperimentResult",
+    "WorkloadSpec",
+    "PolicySpec",
+    "Cell",
+    "CellRecord",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "BurstyArrivalFactory",
+    "simulate_cell",
+    "save_experiment",
+    "load_experiment",
     # core math
     "compute_iwl",
     "compute_iwl_reference",

@@ -3,8 +3,10 @@
 from .ccdf import ccdf_series, tail_improvement_factor, tail_quantiles
 from .herding import HerdingProbe, HerdingStats
 from .persistence import (
+    load_experiment,
     load_result,
     load_sweep,
+    save_experiment,
     save_result,
     save_sweep,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "load_result",
     "save_sweep",
     "load_sweep",
+    "save_experiment",
+    "load_experiment",
     "ReplicatedResult",
     "replicated_runs",
     "paired_comparison",

@@ -2,8 +2,9 @@
 
 Long sweeps are expensive; these helpers serialize
 :class:`repro.sim.engine.SimulationResult` (including the full
-response-time histogram, losslessly -- it is just integer counts) and
-:class:`repro.analysis.runner.SweepResult` so that figure regeneration,
+response-time histogram, losslessly -- it is just integer counts),
+:class:`repro.analysis.runner.SweepResult`, and the declarative
+:class:`repro.experiments.ExperimentResult` so that figure regeneration,
 EXPERIMENTS.md tables and notebook analysis can reuse completed runs.
 """
 
@@ -15,6 +16,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.runner import SweepResult
+from repro.experiments.grid import Experiment, PolicySpec
+from repro.experiments.results import CellRecord, ExperimentResult
+from repro.experiments.workload import UnreconstructedFactory, WorkloadSpec
 from repro.sim.engine import SimulationConfig, SimulationResult
 from repro.sim.metrics import QueueLengthSeries, ResponseTimeHistogram
 from repro.workloads.scenarios import SystemSpec
@@ -28,9 +32,14 @@ __all__ = [
     "sweep_from_dict",
     "save_sweep",
     "load_sweep",
+    "experiment_result_to_dict",
+    "experiment_result_from_dict",
+    "save_experiment",
+    "load_experiment",
 ]
 
 _FORMAT_VERSION = 1
+_EXPERIMENT_FORMAT_VERSION = 1
 
 
 def result_to_dict(result: SimulationResult) -> dict:
@@ -145,3 +154,123 @@ def save_sweep(sweep: SweepResult, path: str | Path) -> Path:
 def load_sweep(path: str | Path) -> SweepResult:
     """Read a sweep previously written by :func:`save_sweep`."""
     return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Declarative experiment results (repro.experiments).
+# ---------------------------------------------------------------------------
+
+
+def _workload_from_descriptor(payload: dict) -> WorkloadSpec:
+    """Best-effort workload reconstruction from its JSON descriptor.
+
+    Name, skew, and explicit dispatcher weights round-trip exactly.
+    Custom arrival/service factories and job-size distributions are
+    arbitrary Python objects that only serialize as a repr; a workload
+    that had any gets an :class:`UnreconstructedFactory` placeholder, so
+    the loaded result's records stay fully usable but re-*running* the
+    loaded experiment raises instead of silently simulating the default
+    workload under the old name.
+    """
+    weights = payload.get("dispatcher_weights")
+    lossy = {"arrivals", "service", "job_sizes"} & payload.keys()
+    return WorkloadSpec(
+        name=payload["name"],
+        skew=payload.get("skew"),
+        dispatcher_weights=tuple(weights) if weights is not None else None,
+        arrivals=UnreconstructedFactory(payload["name"]) if lossy else None,
+    )
+
+
+def _record_to_dict(record: CellRecord) -> dict:
+    payload = {
+        "policy": record.policy,
+        "system": record.system,
+        "rho": record.rho,
+        "replication": record.replication,
+        "workload": record.workload,
+        "seed": record.seed,
+        "metrics": dict(record.metrics),
+    }
+    if isinstance(record.result, SimulationResult):
+        payload["result"] = result_to_dict(record.result)
+    return payload
+
+
+def _record_from_dict(payload: dict) -> CellRecord:
+    result = None
+    if "result" in payload:
+        result = result_from_dict(payload["result"])
+    return CellRecord(
+        policy=payload["policy"],
+        system=payload["system"],
+        rho=float(payload["rho"]),
+        replication=int(payload["replication"]),
+        workload=payload["workload"],
+        seed=int(payload["seed"]),
+        metrics={k: float(v) for k, v in payload["metrics"].items()},
+        result=result,
+    )
+
+
+def experiment_result_to_dict(
+    result: ExperimentResult, include_results: bool = True
+) -> dict:
+    """JSON-serializable form of a declarative experiment result.
+
+    Per-cell metrics always serialize; full simulation payloads
+    (histograms, queue series) are included when ``include_results`` and
+    the record kept them.  Sized-engine results serialize metrics-only.
+    """
+    experiment = result.experiment.describe()
+    records = [_record_to_dict(r) for r in result.records]
+    if not include_results:
+        for record in records:
+            record.pop("result", None)
+    return {
+        "format_version": _EXPERIMENT_FORMAT_VERSION,
+        "kind": "experiment_result",
+        "experiment": experiment,
+        "records": records,
+    }
+
+
+def experiment_result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_result_to_dict`."""
+    version = payload.get("format_version")
+    if payload.get("kind") != "experiment_result" or version != _EXPERIMENT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported experiment format: kind={payload.get('kind')!r} "
+            f"version={version!r}"
+        )
+    spec = payload["experiment"]
+    experiment = Experiment(
+        policies=tuple(
+            PolicySpec(name=p["name"], kwargs=tuple(sorted(p["kwargs"].items())))
+            for p in spec["policies"]
+        ),
+        systems=tuple(SystemSpec(**s) for s in spec["systems"]),
+        loads=tuple(spec["loads"]),
+        replications=int(spec["replications"]),
+        workloads=tuple(_workload_from_descriptor(w) for w in spec["workloads"]),
+        rounds=int(spec["rounds"]),
+        warmup=int(spec["warmup"]),
+        base_seed=int(spec["base_seed"]),
+    )
+    records = tuple(_record_from_dict(r) for r in payload["records"])
+    return ExperimentResult(experiment=experiment, records=records)
+
+
+def save_experiment(
+    result: ExperimentResult, path: str | Path, include_results: bool = True
+) -> Path:
+    """Write an experiment result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(experiment_result_to_dict(result, include_results)))
+    return path
+
+
+def load_experiment(path: str | Path) -> ExperimentResult:
+    """Read a result previously written by :func:`save_experiment`."""
+    return experiment_result_from_dict(json.loads(Path(path).read_text()))

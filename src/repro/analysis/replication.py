@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
-from repro.analysis.runner import ExperimentConfig, run_simulation
+from repro.analysis.runner import ExperimentConfig
+from repro.experiments.grid import Experiment, PolicySpec
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = ["ReplicatedResult", "replicated_runs", "paired_comparison"]
@@ -78,22 +79,26 @@ def replicated_runs(
 ) -> ReplicatedResult:
     """Run ``replications`` independent workload realizations.
 
-    Replication ``r`` shifts the experiment's base seed by ``r``; two
-    policies replicated with the same arguments therefore see *matching*
-    workloads per replication (paired design).
+    A thin wrapper over a one-policy :class:`repro.experiments.Experiment`
+    with ``replications`` along the replication axis.  Replication ``r``
+    shifts the experiment's base seed by ``r``; two policies replicated
+    with the same arguments therefore see *matching* workloads per
+    replication (paired design).
     """
     if replications < 1:
         raise ValueError("need at least one replication")
     config = config or ExperimentConfig()
-    means = []
-    for rep in range(replications):
-        rep_config = ExperimentConfig(
-            rounds=config.rounds,
-            warmup=config.warmup,
-            base_seed=config.base_seed + 1_000_003 * rep,
-        )
-        result = run_simulation(policy, system, rho, rep_config, **policy_kwargs)
-        means.append(result.mean_response_time)
+    experiment = Experiment(
+        policies=(PolicySpec(name=policy, kwargs=tuple(sorted(policy_kwargs.items()))),),
+        systems=(system,),
+        loads=(rho,),
+        replications=replications,
+        rounds=config.rounds,
+        warmup=config.warmup,
+        base_seed=config.base_seed,
+    )
+    records = experiment.run(keep_results=False).records
+    means = [r.metrics["mean"] for r in sorted(records, key=lambda r: r.replication)]
     return ReplicatedResult(
         policy=policy,
         system=system,

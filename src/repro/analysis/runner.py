@@ -1,21 +1,26 @@
-"""Experiment runner: the paper's evaluation protocol as a library.
+"""Legacy experiment runner: thin wrappers over :mod:`repro.experiments`.
 
-Builds simulations from ``(policy name, system spec, offered load)``
-coordinates, with seeds derived from the *workload* coordinates only --
-every policy compared at the same coordinates sees identical arrival and
-departure realizations, matching the paper's common-seed methodology.
+The original one-off functions (``run_simulation``,
+``mean_response_sweep``, ``tail_experiment``) predate the declarative
+:class:`repro.experiments.Experiment` grid and are kept as back-compat
+shims: same signatures, same results bit-for-bit (the default
+:class:`~repro.experiments.WorkloadSpec` contributes no seed components,
+so the historical ``derive_seed(base, system.name, round(rho * 10_000))``
+scheme is reproduced exactly).  New code should declare an
+``Experiment`` and call ``.run()`` -- it reaches the pluggable-workload
+and parallel-execution machinery these wrappers cannot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-
-from repro.policies.base import Policy, make_policy
-from repro.sim.arrivals import PoissonArrivals
-from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+from repro.experiments.executor import simulate_cell
+from repro.experiments.grid import Experiment
+from repro.experiments.workload import WorkloadSpec
+from repro.policies.base import Policy
+from repro.sim.engine import SimulationResult
 from repro.sim.seeding import derive_seed
-from repro.sim.service import GeometricService
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = [
@@ -52,23 +57,27 @@ def run_simulation(
     config: ExperimentConfig | None = None,
     **policy_kwargs,
 ) -> SimulationResult:
-    """Run one (policy, system, load) cell and return its result."""
+    """Run one (policy, system, load) cell and return its result.
+
+    Equivalent to a one-cell :class:`~repro.experiments.Experiment` with
+    the default workload; kept because a bare result object (and support
+    for pre-built :class:`Policy` instances) is sometimes handier than a
+    record container.
+    """
     config = config or ExperimentConfig()
-    rates = system.rates()
-    arrivals = PoissonArrivals(system.lambdas(rho))
-    service = GeometricService(rates)
-    sim = Simulation(
-        rates=rates,
-        policy=make_policy(policy, **policy_kwargs),
-        arrivals=arrivals,
-        service=service,
-        config=SimulationConfig(
-            rounds=config.rounds,
-            warmup=config.warmup,
-            seed=_workload_seed(config, system, rho),
-        ),
+    if isinstance(policy, str) and policy_kwargs:
+        from repro.experiments.grid import PolicySpec
+
+        policy = PolicySpec(name=policy, kwargs=tuple(sorted(policy_kwargs.items())))
+    return simulate_cell(
+        policy,
+        system,
+        rho,
+        WorkloadSpec(),
+        seed=_workload_seed(config, system, rho),
+        rounds=config.rounds,
+        warmup=config.warmup,
     )
-    return sim.run()
 
 
 @dataclass
@@ -95,24 +104,25 @@ def mean_response_sweep(
     system: SystemSpec,
     loads: tuple[float, ...],
     config: ExperimentConfig | None = None,
+    workers: int | None = None,
 ) -> SweepResult:
     """Reproduce one panel of Figures 3a/4a/6a/7a.
 
     Runs every (policy, load) cell with common random numbers and collects
-    mean response times.
+    mean response times.  ``workers > 1`` fans the cells out over a
+    process pool (results are identical to the serial run).
     """
     config = config or ExperimentConfig()
-    means: dict[str, dict[float, float]] = {p: {} for p in policies}
-    for rho in loads:
-        for policy in policies:
-            result = run_simulation(policy, system, rho, config)
-            means[policy][rho] = result.mean_response_time
-    return SweepResult(
-        system=system,
-        loads=tuple(loads),
+    experiment = Experiment(
         policies=tuple(policies),
-        means=means,
+        systems=(system,),
+        loads=tuple(loads),
+        rounds=config.rounds,
+        warmup=config.warmup,
+        base_seed=config.base_seed,
     )
+    result = experiment.run(workers=workers, keep_results=False)
+    return result.to_sweep()
 
 
 def tail_experiment(
@@ -120,9 +130,17 @@ def tail_experiment(
     system: SystemSpec,
     rho: float,
     config: ExperimentConfig | None = None,
+    workers: int | None = None,
 ) -> dict[str, SimulationResult]:
     """Reproduce one panel of Figures 3b/4b: full distributions at one load."""
     config = config or ExperimentConfig()
-    return {
-        policy: run_simulation(policy, system, rho, config) for policy in policies
-    }
+    experiment = Experiment(
+        policies=tuple(policies),
+        systems=(system,),
+        loads=(rho,),
+        rounds=config.rounds,
+        warmup=config.warmup,
+        base_seed=config.base_seed,
+    )
+    result = experiment.run(workers=workers, keep_results=True)
+    return {record.policy: record.result for record in result.records}

@@ -4,17 +4,22 @@ Installed as the ``repro`` console script (also ``python -m repro``).
 
 Subcommands
 -----------
-``policies``   list the registered dispatching policies
-``simulate``   one (policy, system, load) run; optional JSON output
-``sweep``      mean response times over a load grid, several policies
-``tails``      tail quantiles at one load, several policies
-``runtime``    per-decision computation-time CDF landmarks (Figures 5/8)
-``stability``  empirical stability verdict + the Appendix D bound
+``policies``    list the registered dispatching policies
+``experiment``  declarative grid: policies x systems x loads x reps x
+                workload, optionally on a process pool (``--workers``)
+``simulate``    one (policy, system, load) run; optional JSON output
+``sweep``       mean response times over a load grid, several policies
+``tails``       tail quantiles at one load, several policies
+``runtime``     per-decision computation-time CDF landmarks (Figures 5/8)
+``stability``   empirical stability verdict + the Appendix D bound
 
 Examples
 --------
 ::
 
+    repro experiment --policies scd jsq sed --systems 100x10 200x20 \
+        --loads 0.7 0.9 --replications 3 --workers 8 --save grid.json
+    repro experiment --policies scd sed --workload skew:3 --loads 0.9
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
@@ -28,12 +33,13 @@ import sys
 
 
 from repro.analysis.ccdf import tail_quantiles
-from repro.analysis.persistence import save_result, save_sweep
+from repro.analysis.persistence import save_experiment, save_result, save_sweep
 from repro.analysis.runner import (
     ExperimentConfig,
     mean_response_sweep,
     run_simulation,
 )
+from repro.experiments import Experiment, WorkloadSpec
 from repro.analysis.runtime import (
     RUNTIME_TECHNIQUES,
     collect_snapshots,
@@ -84,6 +90,88 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
 def cmd_policies(args: argparse.Namespace) -> int:
     for name in available_policies():
         print(name)
+    return 0
+
+
+def _parse_system_token(token: str, profile: str, rate_seed: int) -> SystemSpec:
+    """``"100x10"`` -> SystemSpec(num_servers=100, num_dispatchers=10)."""
+    try:
+        n_text, m_text = token.lower().split("x")
+        return SystemSpec(int(n_text), int(m_text), profile, rate_seed)
+    except (ValueError, TypeError):
+        raise SystemExit(
+            f"invalid --systems token {token!r}; expected SERVERSxDISPATCHERS "
+            f"like 100x10"
+        )
+
+
+def _parse_workload(token: str) -> WorkloadSpec:
+    """``paper`` | ``skew:F`` | ``bursty:F[:switch_prob]``."""
+    kind, _, params = token.partition(":")
+    kind = kind.lower()
+    if kind == "paper":
+        return WorkloadSpec.paper()
+    if kind == "skew":
+        return WorkloadSpec.skewed(float(params or 2.0))
+    if kind == "bursty":
+        parts = params.split(":") if params else []
+        surge = float(parts[0]) if parts else 3.0
+        switch = float(parts[1]) if len(parts) > 1 else 0.05
+        return WorkloadSpec.bursty(surge, switch)
+    raise SystemExit(
+        f"unknown workload {token!r}; expected paper, skew:F or bursty:F[:P]"
+    )
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    systems = tuple(
+        _parse_system_token(token, args.profile, args.rate_seed)
+        for token in args.systems
+    )
+    try:
+        experiment = Experiment(
+            policies=tuple(args.policies),
+            systems=systems,
+            loads=tuple(args.loads),
+            replications=args.replications,
+            workloads=(_parse_workload(args.workload),),
+            rounds=args.rounds,
+            warmup=args.warmup,
+            base_seed=args.seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid experiment: {error}")
+    workload = experiment.workloads[0]
+    print(
+        f"Running {experiment.size} cells "
+        f"({len(experiment.policies)} policies x {len(systems)} systems x "
+        f"{len(experiment.loads)} loads x {experiment.replications} reps, "
+        f"workload: {workload.name}, rounds/cell: {experiment.rounds}, "
+        f"workers: {args.workers})"
+    )
+    result = experiment.run(workers=args.workers, keep_results=bool(args.save))
+    aggregated = result.aggregate("mean")
+    rows = []
+    for (policy, system, rho, _workload), stats in sorted(
+        aggregated.items(), key=lambda item: (item[0][1], item[0][2], item[1]["mean"])
+    ):
+        rows.append(
+            [system, rho, policy, stats["mean"], stats["stderr"], int(stats["n"])]
+        )
+    print(
+        format_table(
+            ["system", "rho", "policy", "mean", "stderr", "reps"],
+            rows,
+            title="Mean response time (replication-averaged; lowest first)",
+        )
+    )
+    for system in systems:
+        for rho in experiment.loads:
+            best = result.best_policy_at(rho, system=system.name)
+            print(f"  best on {system.name} at rho={rho}: {best}")
+    if args.save:
+        path = save_experiment(result, args.save)
+        print(f"experiment written to {path}")
     return 0
 
 
@@ -203,6 +291,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("policies", help="list registered policies")
     p.set_defaults(func=cmd_policies)
+
+    p = sub.add_parser(
+        "experiment",
+        help="declarative grid: policies x systems x loads x replications",
+    )
+    p.add_argument("--policies", nargs="+", default=["scd", "jsq", "sed"])
+    p.add_argument(
+        "--systems",
+        nargs="+",
+        default=["100x10"],
+        metavar="NxM",
+        help="systems as SERVERSxDISPATCHERS tokens, e.g. 100x10 200x20",
+    )
+    p.add_argument("--loads", type=float, nargs="+", default=[0.7, 0.9, 0.99])
+    p.add_argument("--replications", "-r", type=int, default=1)
+    p.add_argument(
+        "--workload",
+        default="paper",
+        help="paper (default), skew:FACTOR, or bursty:SURGE[:SWITCH_PROB]",
+    )
+    p.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="process-pool workers (1 = serial; results are identical)",
+    )
+    p.add_argument(
+        "--profile",
+        default="u1_10",
+        choices=["u1_10", "u1_100", "bimodal", "homogeneous"],
+    )
+    p.add_argument("--rate-seed", type=int, default=7)
+    p.add_argument("--save", help="write the full result grid as JSON")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("simulate", help="run one policy at one load")
     p.add_argument("--policy", default="scd")

@@ -1,0 +1,284 @@
+"""The declarative experiment grid: policies x systems x loads x reps x workloads.
+
+An :class:`Experiment` is an immutable description of the paper's
+evaluation protocol generalized along every axis: which policies, on
+which systems, at which offered loads, replicated how many times, under
+which workloads.  ``Experiment.cells()`` enumerates the grid in a fixed
+deterministic order and assigns each cell a seed derived *only* from its
+workload coordinates -- policies compared at the same coordinates see
+identical arrival/departure realizations (the paper's common-seed
+methodology), and the seed of a cell never depends on which executor
+runs it or in what order (seed-stable scheduling).
+
+Seed scheme (bit-compatible with the legacy runner):
+
+    base   = base_seed + 1_000_003 * replication          # as replicated_runs
+    seed   = derive_seed(base, *workload.seed_components(),
+                         system.name, round(rho * 10_000))
+
+The paper-default workload contributes no components, so replication 0
+reproduces ``run_simulation``'s historical seeds exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.policies.base import Policy, make_policy
+from repro.sim.seeding import derive_seed
+from repro.workloads.scenarios import SystemSpec
+
+from .workload import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor imports grid)
+    from .executor import Executor
+    from .results import ExperimentResult
+
+__all__ = ["PolicySpec", "Cell", "Experiment", "REPLICATION_SEED_STRIDE"]
+
+#: Base-seed stride between replications (matches the legacy
+#: ``replicated_runs`` so paired replication designs are preserved).
+REPLICATION_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy registry name plus frozen constructor kwargs.
+
+    Hashable (kwargs are stored as a sorted tuple of pairs) so it can key
+    result lookups; ``label`` is the human identity used in records.
+    """
+
+    name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kwargs, dict):
+            object.__setattr__(self, "kwargs", tuple(sorted(self.kwargs.items())))
+
+    @classmethod
+    def of(cls, spec: "str | PolicySpec", **kwargs) -> "PolicySpec":
+        """Coerce a string (optionally with kwargs) into a spec."""
+        if isinstance(spec, PolicySpec):
+            if kwargs:
+                raise ValueError("cannot add kwargs to an existing PolicySpec")
+            return spec
+        return cls(name=spec, kwargs=tuple(sorted(kwargs.items())))
+
+    @property
+    def label(self) -> str:
+        """Identity used in records and tables."""
+        if not self.kwargs:
+            return self.name
+        params = ",".join(f"{k}={v}" for k, v in self.kwargs)
+        return f"{self.name}[{params}]"
+
+    def build(self) -> Policy:
+        """Instantiate a fresh (unbound) policy object."""
+        return make_policy(self.name, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully resolved grid point, ready to execute anywhere.
+
+    Self-contained and picklable: a worker process needs nothing beyond
+    the cell itself to run the simulation.
+    """
+
+    index: int
+    policy: PolicySpec
+    system: SystemSpec
+    rho: float
+    replication: int
+    workload: WorkloadSpec
+    seed: int
+    rounds: int
+    warmup: int
+
+
+def _as_tuple(value, scalar_types) -> tuple:
+    """Normalize a scalar-or-iterable grid axis into a tuple."""
+    if isinstance(value, scalar_types):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Immutable declarative description of a full evaluation grid.
+
+    Scalar axis values are accepted and normalized to 1-tuples, so
+    ``Experiment("scd", system, 0.9)`` describes a single cell.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import SystemSpec
+    >>> exp = Experiment(
+    ...     policies=["scd", "jsq"],
+    ...     systems=SystemSpec(12, 3),
+    ...     loads=[0.7, 0.9],
+    ...     rounds=500,
+    ... )
+    >>> exp.size
+    4
+    """
+
+    policies: tuple[PolicySpec, ...]
+    systems: tuple[SystemSpec, ...]
+    loads: tuple[float, ...]
+    replications: int = 1
+    workloads: tuple[WorkloadSpec, ...] = field(default_factory=lambda: (WorkloadSpec(),))
+    rounds: int = 10_000
+    warmup: int = 0
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        policies = tuple(
+            PolicySpec.of(p) for p in _as_tuple(self.policies, (str, PolicySpec))
+        )
+        systems = _as_tuple(self.systems, SystemSpec)
+        loads = tuple(float(x) for x in _as_tuple(self.loads, (int, float)))
+        workloads = _as_tuple(self.workloads, WorkloadSpec)
+        object.__setattr__(self, "policies", policies)
+        object.__setattr__(self, "systems", systems)
+        object.__setattr__(self, "loads", loads)
+        object.__setattr__(self, "workloads", workloads)
+        if not policies or not systems or not loads or not workloads:
+            raise ValueError("every experiment axis needs at least one value")
+        if len({p.label for p in policies}) != len(policies):
+            raise ValueError("policy labels must be unique")
+        if len({w.name for w in workloads}) != len(workloads):
+            raise ValueError("workload names must be unique")
+        if self.replications < 1:
+            raise ValueError("need at least one replication")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if not 0 <= self.warmup < self.rounds:
+            raise ValueError("warmup must be in [0, rounds)")
+
+    # -- grid enumeration --------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of cells in the grid."""
+        return (
+            len(self.policies)
+            * len(self.systems)
+            * len(self.loads)
+            * self.replications
+            * len(self.workloads)
+        )
+
+    def cell_seed(
+        self, workload: WorkloadSpec, system: SystemSpec, rho: float, replication: int
+    ) -> int:
+        """Workload-coordinate seed (policy-independent, order-independent)."""
+        base = self.base_seed + REPLICATION_SEED_STRIDE * replication
+        return derive_seed(
+            base, *workload.seed_components(), system.name, round(rho * 10_000)
+        )
+
+    def cells(self) -> Iterator[Cell]:
+        """Enumerate the grid in deterministic order (policy innermost)."""
+        coords = itertools.product(
+            self.workloads, self.systems, self.loads, range(self.replications)
+        )
+        index = 0
+        for workload, system, rho, rep in coords:
+            seed = self.cell_seed(workload, system, rho, rep)
+            for policy in self.policies:
+                yield Cell(
+                    index=index,
+                    policy=policy,
+                    system=system,
+                    rho=rho,
+                    replication=rep,
+                    workload=workload,
+                    seed=seed,
+                    rounds=self.rounds,
+                    warmup=self.warmup,
+                )
+                index += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        executor: "Executor | str | None" = None,
+        workers: int | None = None,
+        keep_results: bool = True,
+        progress: "callable | None" = None,
+    ) -> "ExperimentResult":
+        """Execute every cell and return the tidy result container.
+
+        Parameters
+        ----------
+        executor:
+            An :class:`Executor` instance, ``"serial"``, ``"process"``,
+            or None (serial unless ``workers`` asks for a pool).
+        workers:
+            Shorthand: ``workers > 1`` selects the process-pool backend
+            with that many workers.
+        keep_results:
+            Attach each cell's full simulation result to its record
+            (memory-heavy for large grids; metrics are always kept).
+        progress:
+            Optional callback ``(done, total) -> None`` invoked as cells
+            complete.
+        """
+        from .executor import resolve_executor
+        from .results import ExperimentResult
+
+        backend = resolve_executor(executor, workers)
+        records = backend.run(self, keep_results=keep_results, progress=progress)
+        return ExperimentResult(experiment=self, records=tuple(records))
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        policy: "str | PolicySpec",
+        system: SystemSpec,
+        rho: float,
+        rounds: int = 10_000,
+        warmup: int = 0,
+        base_seed: int = 0,
+        workload: WorkloadSpec | None = None,
+    ) -> "Experiment":
+        """A one-cell experiment (the legacy ``run_simulation`` shape)."""
+        return cls(
+            policies=(PolicySpec.of(policy),),
+            systems=(system,),
+            loads=(rho,),
+            rounds=rounds,
+            warmup=warmup,
+            base_seed=base_seed,
+            workloads=(workload or WorkloadSpec(),),
+        )
+
+    def describe(self) -> dict:
+        """JSON-able descriptor of the grid (used by persistence)."""
+        return {
+            "policies": [
+                {"name": p.name, "kwargs": dict(p.kwargs)} for p in self.policies
+            ],
+            "systems": [
+                {
+                    "num_servers": s.num_servers,
+                    "num_dispatchers": s.num_dispatchers,
+                    "profile": s.profile,
+                    "rate_seed": s.rate_seed,
+                }
+                for s in self.systems
+            ],
+            "loads": list(self.loads),
+            "replications": self.replications,
+            "workloads": [w.describe() for w in self.workloads],
+            "rounds": self.rounds,
+            "warmup": self.warmup,
+            "base_seed": self.base_seed,
+        }

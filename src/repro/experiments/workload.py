@@ -1,0 +1,280 @@
+"""Pluggable workload specifications for declarative experiments.
+
+A :class:`WorkloadSpec` bundles everything about an experiment cell that
+is *workload* rather than *policy or system*: the arrival process, the
+service process, how traffic splits over dispatchers, and (optionally) a
+job-size distribution.  The default spec is exactly the paper's
+evaluation workload -- symmetric Poisson arrivals and geometric service
+-- and experiments run with it reproduce the legacy
+:func:`repro.analysis.runner.run_simulation` results bit-for-bit: the
+workload seed components it contributes are empty, so the derived seed
+matches the historical ``derive_seed(base, system.name, round(rho*1e4))``
+scheme.
+
+Custom workloads contribute their ``name`` to the seed derivation, which
+keeps realizations (a) reproducible, (b) common across policies at the
+same coordinates, and (c) distinct between workloads.
+
+Everything here must be picklable so the process-pool executor can ship
+cells to workers: factories are small frozen dataclasses with
+``__call__``, never lambdas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    ModulatedPoissonArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.sim.service import GeometricService, ServiceProcess, TraceService
+from repro.sim.sized import JobSizeDistribution
+from repro.workloads.scenarios import SystemSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "PAPER_WORKLOAD_NAME",
+    "BurstyArrivalFactory",
+    "TraceArrivalFactory",
+    "TraceServiceFactory",
+    "UnreconstructedFactory",
+]
+
+#: Name of the paper's default workload; the only name that contributes
+#: no seed components (legacy seed compatibility).
+PAPER_WORKLOAD_NAME = "paper"
+
+#: Builds an arrival process for a (system, offered load) coordinate.
+ArrivalFactory = Callable[[SystemSpec, float], ArrivalProcess]
+#: Builds a service process for a system.
+ServiceFactory = Callable[[SystemSpec], ServiceProcess]
+
+
+@dataclass(frozen=True)
+class UnreconstructedFactory:
+    """Placeholder for a custom component lost in a JSON round-trip.
+
+    Saved experiments record only a repr of custom arrival/service
+    factories and job-size distributions; a loaded workload that had one
+    gets this placeholder so re-*running* it fails loudly instead of
+    silently simulating the paper-default workload under the old name.
+    """
+
+    workload: str
+
+    def __call__(self, *args, **kwargs):
+        raise ValueError(
+            f"workload {self.workload!r} was loaded from JSON, which does "
+            f"not preserve custom factories/job sizes; re-running it "
+            f"requires the original WorkloadSpec object"
+        )
+
+
+@dataclass(frozen=True)
+class BurstyArrivalFactory:
+    """Markov-modulated Poisson arrivals at equal *average* load.
+
+    The calm/surge rates are chosen so their 50/50 stationary mixture
+    matches the symmetric Poisson rates at the cell's offered load:
+    ``calm = 2 * lambda / (1 + surge_factor)``, ``surge = surge_factor *
+    calm``.  The phase is shared by all dispatchers (correlated surges,
+    the hard case for herding).
+    """
+
+    surge_factor: float = 3.0
+    switch_prob: float = 0.05
+
+    def __call__(self, system: SystemSpec, rho: float) -> ArrivalProcess:
+        mean_lambdas = system.lambdas(rho)
+        calm = 2.0 * mean_lambdas / (1.0 + self.surge_factor)
+        return ModulatedPoissonArrivals(
+            calm, self.surge_factor * calm, switch_prob=self.switch_prob
+        )
+
+
+@dataclass(frozen=True)
+class TraceArrivalFactory:
+    """Replays a fixed ``(rounds, dispatchers)`` batch trace."""
+
+    trace: tuple[tuple[int, ...], ...]
+
+    def __call__(self, system: SystemSpec, rho: float) -> ArrivalProcess:
+        trace = np.asarray(self.trace, dtype=np.int64)
+        if trace.shape[1] != system.num_dispatchers:
+            raise ValueError(
+                f"trace has {trace.shape[1]} dispatcher columns but the "
+                f"system has {system.num_dispatchers} dispatchers"
+            )
+        return TraceArrivals(trace)
+
+
+@dataclass(frozen=True)
+class TraceServiceFactory:
+    """Replays a fixed ``(rounds, servers)`` capacity trace."""
+
+    trace: tuple[tuple[int, ...], ...]
+
+    def __call__(self, system: SystemSpec) -> ServiceProcess:
+        trace = np.asarray(self.trace, dtype=np.int64)
+        if trace.shape[1] != system.num_servers:
+            raise ValueError(
+                f"trace has {trace.shape[1]} server columns but the "
+                f"system has {system.num_servers} servers"
+            )
+        return TraceService(trace)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One pluggable workload of an experiment grid.
+
+    Attributes
+    ----------
+    name:
+        Workload identity.  Enters the seed derivation for every name
+        except :data:`PAPER_WORKLOAD_NAME`, so distinct workloads see
+        distinct (but reproducible) realizations, while the default
+        remains bit-compatible with the legacy runner.
+    arrivals:
+        Optional arrival-process factory ``(system, rho) -> process``;
+        overrides the default symmetric Poisson arrivals.  Must be
+        picklable for the process-pool executor (use a small class, not
+        a lambda).
+    service:
+        Optional service-process factory ``(system) -> process``;
+        overrides the default geometric service at the system's rates.
+    skew:
+        Geometric dispatcher-skew factor: dispatcher ``d`` receives
+        traffic proportional to ``skew ** d`` (1.0 = the paper's
+        symmetric split).  Applies to the default Poisson arrivals only.
+    dispatcher_weights:
+        Explicit traffic-split weights, one per dispatcher; mutually
+        exclusive with ``skew`` and checked against each system.
+    job_sizes:
+        Optional job-size distribution.  When set, cells run the
+        sized-job engine (:class:`repro.sim.sized.SizedSimulation`)
+        with unit-denominated queues.
+    """
+
+    name: str = PAPER_WORKLOAD_NAME
+    arrivals: ArrivalFactory | None = None
+    service: ServiceFactory | None = None
+    skew: float | None = None
+    dispatcher_weights: tuple[float, ...] | None = None
+    job_sizes: JobSizeDistribution | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if self.skew is not None and self.dispatcher_weights is not None:
+            raise ValueError("skew and dispatcher_weights are mutually exclusive")
+        if self.skew is not None and self.skew <= 0:
+            raise ValueError("skew must be positive")
+        if self.dispatcher_weights is not None:
+            object.__setattr__(
+                self, "dispatcher_weights", tuple(float(w) for w in self.dispatcher_weights)
+            )
+        # A renamed but otherwise-default spec is allowed: it requests a
+        # fresh workload realization on purpose (the name seeds it).
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def is_paper_default(self) -> bool:
+        """True when every component is the paper's evaluation default."""
+        return (
+            self.arrivals is None
+            and self.service is None
+            and (self.skew is None or self.skew == 1.0)
+            and self.dispatcher_weights is None
+            and self.job_sizes is None
+        )
+
+    def seed_components(self) -> tuple[str, ...]:
+        """Extra coordinates this workload contributes to seed derivation.
+
+        Empty for the paper default so legacy seeds are reproduced.
+        """
+        if self.name == PAPER_WORKLOAD_NAME:
+            return ()
+        return (self.name,)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def paper(cls) -> "WorkloadSpec":
+        """The paper's workload: symmetric Poisson + geometric service."""
+        return cls()
+
+    @classmethod
+    def skewed(cls, skew: float, name: str | None = None) -> "WorkloadSpec":
+        """Geometrically skewed dispatcher traffic at equal total load."""
+        return cls(name=name or f"skew{skew:g}", skew=float(skew))
+
+    @classmethod
+    def bursty(
+        cls,
+        surge_factor: float = 3.0,
+        switch_prob: float = 0.05,
+        name: str | None = None,
+    ) -> "WorkloadSpec":
+        """Correlated calm/surge arrivals at equal average load."""
+        return cls(
+            name=name or f"bursty{surge_factor:g}",
+            arrivals=BurstyArrivalFactory(surge_factor, switch_prob),
+        )
+
+    @classmethod
+    def sized(cls, job_sizes: JobSizeDistribution, name: str | None = None) -> "WorkloadSpec":
+        """Jobs carry work-unit sizes; cells run the sized engine."""
+        return cls(name=name or "sized", job_sizes=job_sizes)
+
+    # -- builders ----------------------------------------------------------
+
+    def weights_for(self, system: SystemSpec) -> np.ndarray | None:
+        """Dispatcher traffic-split weights for ``system`` (None = even)."""
+        if self.dispatcher_weights is not None:
+            weights = np.asarray(self.dispatcher_weights, dtype=np.float64)
+            if weights.shape != (system.num_dispatchers,):
+                raise ValueError(
+                    f"workload {self.name!r} has {weights.size} dispatcher "
+                    f"weights but system {system.name} has "
+                    f"{system.num_dispatchers} dispatchers"
+                )
+            return weights
+        if self.skew is not None and self.skew != 1.0:
+            return self.skew ** np.arange(system.num_dispatchers, dtype=np.float64)
+        return None
+
+    def build_arrivals(self, system: SystemSpec, rho: float) -> ArrivalProcess:
+        """Instantiate this workload's arrival process for one cell."""
+        if self.arrivals is not None:
+            return self.arrivals(system, rho)
+        return PoissonArrivals(system.lambdas(rho, self.weights_for(system)))
+
+    def build_service(self, system: SystemSpec) -> ServiceProcess:
+        """Instantiate this workload's service process for one cell."""
+        if self.service is not None:
+            return self.service(system)
+        return GeometricService(system.rates())
+
+    def describe(self) -> dict:
+        """JSON-able descriptor (factories reduce to their repr)."""
+        out: dict = {"name": self.name}
+        if self.skew is not None:
+            out["skew"] = self.skew
+        if self.dispatcher_weights is not None:
+            out["dispatcher_weights"] = list(self.dispatcher_weights)
+        if self.arrivals is not None:
+            out["arrivals"] = repr(self.arrivals)
+        if self.service is not None:
+            out["service"] = repr(self.service)
+        if self.job_sizes is not None:
+            out["job_sizes"] = repr(self.job_sizes)
+        return out

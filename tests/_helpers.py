@@ -1,0 +1,53 @@
+"""Shared hypothesis strategies for the test suite.
+
+A plain helper module (not a conftest) so test files can ``from _helpers
+import ...`` without depending on pytest's conftest import machinery --
+importing from ``conftest`` breaks when another rootdir directory (e.g.
+``benchmarks/``) registers its own ``conftest`` module first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+__all__ = ["server_instances", "dispatch_instances"]
+
+
+@st.composite
+def server_instances(draw, max_servers: int = 24, max_queue: int = 60):
+    """A random (queues, rates) pair with well-conditioned rates."""
+    n = draw(st.integers(min_value=1, max_value=max_servers))
+    queues = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_queue),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    rates = np.array(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=0.25,
+                    max_value=64.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return queues, rates
+
+
+@st.composite
+def dispatch_instances(draw, max_servers: int = 24, max_arrivals: int = 200):
+    """A random (queues, rates, arrivals) dispatching instance."""
+    queues, rates = draw(server_instances(max_servers=max_servers))
+    arrivals = draw(st.integers(min_value=1, max_value=max_arrivals))
+    return queues, rates, arrivals

@@ -1,10 +1,29 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite.
+
+Hypothesis settings profiles (per the standard idiom): the ``dev``
+profile keeps property tests fast during local iteration, ``ci`` runs
+them thoroughly.  CI selects its profile via ``HYPOTHESIS_PROFILE=ci``
+(the workflow sets it); explicit ``--hypothesis-profile`` still wins.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
-from hypothesis import strategies as st
+from hypothesis import settings
+
+from _helpers import dispatch_instances, server_instances  # noqa: F401 (re-export)
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles: thorough in CI, fast for local development.
+# ---------------------------------------------------------------------------
+
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
 
 # ---------------------------------------------------------------------------
 # Paper worked examples (Figures 1 and 2) as fixtures.
@@ -41,51 +60,3 @@ def figure2_instance():
         "p_fast_approx": 0.222,
         "expected_jobs_fast_approx": 1.55,
     }
-
-
-# ---------------------------------------------------------------------------
-# Hypothesis strategies for random problem instances.
-# ---------------------------------------------------------------------------
-
-
-@st.composite
-def server_instances(draw, max_servers: int = 24, max_queue: int = 60):
-    """A random (queues, rates) pair with well-conditioned rates."""
-    n = draw(st.integers(min_value=1, max_value=max_servers))
-    queues = np.array(
-        draw(
-            st.lists(
-                st.integers(min_value=0, max_value=max_queue),
-                min_size=n,
-                max_size=n,
-            )
-        ),
-        dtype=np.int64,
-    )
-    rates = np.array(
-        draw(
-            st.lists(
-                st.floats(
-                    min_value=0.25,
-                    max_value=64.0,
-                    allow_nan=False,
-                    allow_infinity=False,
-                ),
-                min_size=n,
-                max_size=n,
-            )
-        )
-    )
-    return queues, rates
-
-
-@st.composite
-def dispatch_instances(draw, max_servers: int = 24, max_arrivals: int = 200):
-    """A random (queues, rates, arrivals) dispatching instance."""
-    queues, rates = draw(server_instances(max_servers=max_servers))
-    arrivals = draw(st.integers(min_value=1, max_value=max_arrivals))
-    return queues, rates, arrivals
-
-
-# Re-exported so test modules can simply `from conftest import ...`.
-__all__ = ["server_instances", "dispatch_instances"]

@@ -31,6 +31,48 @@ class TestPolicies:
         assert "scd" in names and "jsq" in names and "hlsq" in names
 
 
+class TestExperiment:
+    def test_grid_table_and_best(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "scd", "random", "--systems", "12x3",
+            "--loads", "0.8", "--replications", "2", "--rounds", "150",
+        )
+        assert code == 0
+        assert "Running 4 cells" in out
+        assert "best on n12_m3_u1_10 at rho=0.8: scd" in out
+
+    def test_workers_and_save(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "scd", "--systems", "10x2",
+            "--loads", "0.7", "--rounds", "100", "--workers", "2",
+            "--save", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "experiment_result"
+        assert len(payload["records"]) == 1
+
+    def test_skewed_workload(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "scd", "--systems", "12x3",
+            "--loads", "0.8", "--rounds", "100", "--workload", "skew:3",
+        )
+        assert code == 0
+        assert "workload: skew3" in out
+
+    def test_bad_system_token(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--systems", "hundred"])
+
+    def test_bad_workload_token(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--systems", "10x2", "--workload", "chaotic"])
+
+
 class TestSimulate:
     def test_basic_run(self, capsys):
         code, out = run_cli(

@@ -6,7 +6,7 @@ FIFO response-time bounds, warm-up accounting) without statistical slack.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.policies.base import make_policy
@@ -58,7 +58,6 @@ POLICIES = ["scd", "jsq", "sed", "wr", "rr", "twf"]
 
 class TestTraceDrivenInvariants:
     @given(traced_system(), st.sampled_from(POLICIES))
-    @settings(max_examples=120, deadline=None)
     def test_exact_conservation(self, system, policy_name):
         arrivals, capacities, rates, rounds = system
         result = Simulation(
@@ -74,7 +73,6 @@ class TestTraceDrivenInvariants:
         assert result.server_received.sum() == result.total_arrived
 
     @given(traced_system(), st.sampled_from(POLICIES))
-    @settings(max_examples=80, deadline=None)
     def test_departures_bounded_by_capacity(self, system, policy_name):
         arrivals, capacities, rates, rounds = system
         result = Simulation(
@@ -87,7 +85,6 @@ class TestTraceDrivenInvariants:
         assert result.total_departed <= int(capacities[:rounds].sum())
 
     @given(traced_system())
-    @settings(max_examples=80, deadline=None)
     def test_response_times_within_horizon(self, system):
         arrivals, capacities, rates, rounds = system
         result = Simulation(
@@ -101,7 +98,6 @@ class TestTraceDrivenInvariants:
             assert 1 <= result.histogram.max_response_time <= rounds
 
     @given(traced_system())
-    @settings(max_examples=50, deadline=None)
     def test_work_conserving_single_server(self, system):
         """With one server every policy is work-conserving: departures
         equal the running min of accumulated work and capacity."""
@@ -128,7 +124,6 @@ class TestTraceDrivenInvariants:
 
 class TestPolicyIndependenceOfWorkload:
     @given(traced_system(), st.integers(min_value=0, max_value=2**31 - 1))
-    @settings(max_examples=50, deadline=None)
     def test_workload_streams_not_consumed_by_policy(self, system, seed):
         """Changing only the policy leaves arrivals/departures untouched --
         the common-random-numbers guarantee, bit-exact under traces and

@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs cleanly in a quick configuration."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(script: str, *args: str) -> str:
+    # The subprocess needs src/ on its path even when the parent test run
+    # got it from pytest's pythonpath setting rather than the environment.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -64,6 +73,12 @@ def test_bursty_arrivals():
     out = run_example("bursty_arrivals.py", "--rounds", "300")
     assert "bursty" in out
     assert "scd" in out
+
+
+def test_experiment_grid():
+    out = run_example("experiment_grid.py", "--rounds", "150", "--workers", "2")
+    assert "records identical: True" in out
+    assert "round-trip identical: True" in out
 
 
 def test_sized_jobs():

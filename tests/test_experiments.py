@@ -1,0 +1,357 @@
+"""Tests for the declarative experiment API (repro.experiments).
+
+The two load-bearing guarantees:
+
+1. **Legacy equivalence** -- an ``Experiment`` with the default
+   :class:`WorkloadSpec` reproduces ``run_simulation``'s results
+   bit-identically at the same (policy, system, rho, seed) coordinates.
+2. **Executor equivalence** -- the process-pool executor returns records
+   identical to the serial executor (seed-stable scheduling).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.persistence import (
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+)
+from repro.analysis.replication import replicated_runs
+from repro.analysis.runner import ExperimentConfig, mean_response_sweep, run_simulation
+from repro.experiments import (
+    Cell,
+    Experiment,
+    PolicySpec,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkloadSpec,
+    resolve_executor,
+)
+from repro.sim.sized import GeometricSize
+from repro.workloads.scenarios import SystemSpec
+
+SMALL = SystemSpec(num_servers=12, num_dispatchers=3, profile="u1_10")
+OTHER = SystemSpec(num_servers=10, num_dispatchers=2, profile="u1_10")
+ROUNDS = 250
+
+
+class TestGrid:
+    def test_scalar_axes_normalize(self):
+        exp = Experiment(policies="scd", systems=SMALL, loads=0.8, rounds=100)
+        assert exp.policies == (PolicySpec("scd"),)
+        assert exp.systems == (SMALL,)
+        assert exp.loads == (0.8,)
+        assert exp.size == 1
+
+    def test_size_and_cell_order(self):
+        exp = Experiment(
+            policies=["scd", "jsq"],
+            systems=[SMALL, OTHER],
+            loads=[0.7, 0.9],
+            replications=2,
+            rounds=100,
+        )
+        cells = list(exp.cells())
+        assert exp.size == len(cells) == 16
+        assert [c.index for c in cells] == list(range(16))
+        # Policy is the innermost axis: consecutive cells share the seed.
+        assert cells[0].seed == cells[1].seed
+        assert cells[0].policy.label == "scd" and cells[1].policy.label == "jsq"
+
+    def test_seeds_policy_independent_and_coordinate_distinct(self):
+        exp = Experiment(
+            policies=["scd", "jsq"], systems=SMALL, loads=[0.7, 0.9], rounds=100
+        )
+        seeds = {}
+        for cell in exp.cells():
+            seeds.setdefault(cell.rho, set()).add(cell.seed)
+        assert all(len(s) == 1 for s in seeds.values())  # common across policies
+        assert seeds[0.7] != seeds[0.9]  # distinct across loads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Experiment(policies=[], systems=SMALL, loads=0.8)
+        with pytest.raises(ValueError):
+            Experiment(policies="scd", systems=SMALL, loads=0.8, replications=0)
+        with pytest.raises(ValueError):
+            Experiment(policies="scd", systems=SMALL, loads=0.8, rounds=0)
+        with pytest.raises(ValueError):
+            Experiment(
+                policies="scd", systems=SMALL, loads=0.8, rounds=10, warmup=10
+            )
+        with pytest.raises(ValueError):
+            Experiment(policies=["scd", "scd"], systems=SMALL, loads=0.8)
+
+    def test_policy_kwargs_label_and_build(self):
+        spec = PolicySpec.of("jsq(d)", d=3)
+        assert spec.label == "jsq(d)[d=3]"
+        assert spec.build().name == "jsq(3)"
+
+
+class TestLegacyEquivalence:
+    def test_default_workload_bit_identical_to_run_simulation(self):
+        """Acceptance criterion: same metrics, same seed, same histogram."""
+        exp = Experiment(
+            policies=["scd", "jsq"], systems=SMALL, loads=[0.7, 0.9], rounds=ROUNDS
+        )
+        result = exp.run()
+        config = ExperimentConfig(rounds=ROUNDS)
+        for policy in ("scd", "jsq"):
+            for rho in (0.7, 0.9):
+                legacy = run_simulation(policy, SMALL, rho, config)
+                record = result.only(policy=policy, rho=rho)
+                assert record.seed == legacy.config.seed
+                assert record.metrics["mean"] == legacy.mean_response_time
+                assert record.metrics["arrived"] == legacy.total_arrived
+                np.testing.assert_array_equal(
+                    record.result.histogram.counts, legacy.histogram.counts
+                )
+                np.testing.assert_array_equal(
+                    record.result.final_queues, legacy.final_queues
+                )
+
+    def test_sweep_wrapper_bit_identical(self):
+        config = ExperimentConfig(rounds=ROUNDS)
+        sweep = mean_response_sweep(["scd", "wr"], SMALL, (0.5, 0.8), config)
+        for policy in ("scd", "wr"):
+            for rho in (0.5, 0.8):
+                direct = run_simulation(policy, SMALL, rho, config)
+                assert sweep.means[policy][rho] == direct.mean_response_time
+
+    def test_replication_axis_matches_replicated_runs(self):
+        config = ExperimentConfig(rounds=ROUNDS, base_seed=1)
+        legacy = replicated_runs("scd", SMALL, 0.9, config, replications=3)
+        exp = Experiment(
+            policies="scd",
+            systems=SMALL,
+            loads=0.9,
+            replications=3,
+            rounds=ROUNDS,
+            base_seed=1,
+        )
+        grid_means = tuple(
+            r.metrics["mean"]
+            for r in sorted(exp.run().records, key=lambda r: r.replication)
+        )
+        assert grid_means == legacy.replication_means
+
+    def test_common_random_numbers_across_policies(self):
+        exp = Experiment(
+            policies=["scd", "jsq", "wr"], systems=SMALL, loads=0.8, rounds=ROUNDS
+        )
+        arrived = {r.metrics["arrived"] for r in exp.run().records}
+        assert len(arrived) == 1
+
+
+class TestExecutors:
+    def test_parallel_records_identical_to_serial(self):
+        """Acceptance criterion: process pool == serial, order included."""
+        exp = Experiment(
+            policies=["scd", "jsq"],
+            systems=SMALL,
+            loads=[0.7, 0.9],
+            replications=2,
+            rounds=200,
+        )
+        serial = exp.run(executor=SerialExecutor())
+        parallel = exp.run(executor=ProcessPoolExecutor(workers=2))
+        assert serial.records == parallel.records
+        assert [r.seed for r in serial.records] == [r.seed for r in parallel.records]
+
+    def test_workers_shorthand(self):
+        exp = Experiment(policies="scd", systems=SMALL, loads=0.8, rounds=100)
+        assert exp.run(workers=2).records == exp.run().records
+
+    def test_resolve_executor(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(None, workers=4), ProcessPoolExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("process", workers=2), ProcessPoolExecutor)
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(ValueError):
+            resolve_executor(SerialExecutor(), workers=2)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(workers=0)
+
+    def test_progress_callback(self):
+        exp = Experiment(policies=["scd", "wr"], systems=SMALL, loads=0.8, rounds=100)
+        seen = []
+        exp.run(progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_keep_results_false_drops_payload_not_metrics(self):
+        exp = Experiment(policies="scd", systems=SMALL, loads=0.8, rounds=100)
+        with_payload = exp.run(keep_results=True)
+        without = exp.run(keep_results=False)
+        assert with_payload.records == without.records
+        assert without.records[0].result is None
+        assert with_payload.records[0].result is not None
+
+
+class TestWorkloads:
+    def test_paper_default_contributes_no_seed_components(self):
+        assert WorkloadSpec().seed_components() == ()
+        assert WorkloadSpec.skewed(3.0).seed_components() == ("skew3",)
+
+    def test_skewed_changes_results_but_not_total_load(self):
+        base = Experiment(policies="scd", systems=SMALL, loads=0.9, rounds=ROUNDS)
+        skew = Experiment(
+            policies="scd",
+            systems=SMALL,
+            loads=0.9,
+            rounds=ROUNDS,
+            workloads=WorkloadSpec.skewed(4.0),
+        )
+        a, b = base.run().records[0], skew.run().records[0]
+        assert a.seed != b.seed
+        assert a.metrics != b.metrics
+        lambdas = WorkloadSpec.skewed(4.0).build_arrivals(SMALL, 0.9).lambdas
+        np.testing.assert_allclose(lambdas.sum(), SMALL.lambdas(0.9).sum())
+
+    def test_explicit_weights_validated_per_system(self):
+        spec = WorkloadSpec(name="w", dispatcher_weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            spec.build_arrivals(SMALL, 0.8)  # SMALL has 3 dispatchers
+
+    def test_skew_and_weights_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="w", skew=2.0, dispatcher_weights=(1.0, 1.0, 1.0))
+
+    def test_bursty_workload_runs_at_equal_average_load(self):
+        spec = WorkloadSpec.bursty(surge_factor=3.0)
+        arrivals = spec.build_arrivals(SMALL, 0.9)
+        np.testing.assert_allclose(arrivals.mean_rate, SMALL.lambdas(0.9).sum())
+        exp = Experiment(
+            policies="scd", systems=SMALL, loads=0.9, rounds=200, workloads=spec
+        )
+        assert exp.run().records[0].metrics["mean"] >= 1.0
+
+    def test_sized_workload_uses_sized_engine(self):
+        exp = Experiment(
+            policies="scd",
+            systems=SMALL,
+            loads=0.5,
+            rounds=200,
+            workloads=WorkloadSpec.sized(GeometricSize(mean_size=2.0)),
+        )
+        record = exp.run().records[0]
+        assert "jobs" in record.metrics
+        assert record.metrics["arrived"] >= record.metrics["jobs"]  # units >= jobs
+
+    def test_multi_workload_grid(self):
+        exp = Experiment(
+            policies=["scd", "sed"],
+            systems=SMALL,
+            loads=0.9,
+            rounds=150,
+            workloads=[WorkloadSpec.paper(), WorkloadSpec.skewed(3.0)],
+        )
+        result = exp.run()
+        assert len(result) == 4
+        assert {r.workload for r in result.records} == {"paper", "skew3"}
+        paper = result.filter(workload="paper")
+        assert len(paper) == 2
+
+
+class TestResults:
+    def make_result(self):
+        return Experiment(
+            policies=["scd", "wr"],
+            systems=SMALL,
+            loads=[0.7, 0.9],
+            replications=2,
+            rounds=150,
+        ).run()
+
+    def test_filter_and_only(self):
+        result = self.make_result()
+        assert len(result.filter(policy="scd")) == 4
+        assert len(result.filter(policy=["scd", "wr"], rho=0.9)) == 4
+        record = result.only(policy="scd", rho=0.9, replication=1)
+        assert record.policy == "scd" and record.replication == 1
+        with pytest.raises(ValueError):
+            result.only(policy="scd")  # four matches
+
+    def test_aggregate_over_replications(self):
+        result = self.make_result()
+        stats = result.aggregate("mean")
+        key = ("scd", SMALL.name, 0.9, "paper")
+        assert stats[key]["n"] == 2
+        reps = [
+            r.metrics["mean"]
+            for r in result.filter(policy="scd", rho=0.9).records
+        ]
+        assert stats[key]["mean"] == pytest.approx(sum(reps) / 2)
+        assert stats[key]["stderr"] >= 0.0
+
+    def test_best_policy_at(self):
+        result = self.make_result()
+        assert result.best_policy_at(0.9) == "scd"
+
+    def test_as_rows_tidy(self):
+        rows = self.make_result().as_rows()
+        assert len(rows) == 8
+        assert {"policy", "system", "rho", "replication", "workload", "seed", "mean"} <= set(
+            rows[0]
+        )
+
+    def test_to_sweep_matches_legacy(self):
+        exp = Experiment(
+            policies=["scd", "wr"], systems=SMALL, loads=[0.5, 0.8], rounds=ROUNDS
+        )
+        sweep = exp.run().to_sweep()
+        legacy = mean_response_sweep(
+            ["scd", "wr"], SMALL, (0.5, 0.8), ExperimentConfig(rounds=ROUNDS)
+        )
+        assert sweep.policies == legacy.policies
+        assert sweep.means == legacy.means
+
+
+class TestPersistence:
+    def test_round_trip_with_full_results(self, tmp_path):
+        result = Experiment(
+            policies=["scd"], systems=SMALL, loads=0.8, rounds=150
+        ).run()
+        path = result.save(tmp_path / "result.json")
+        loaded = repro.ExperimentResult.load(path)
+        assert loaded.records == result.records
+        assert loaded.experiment == result.experiment
+        # Full payload survives too.
+        np.testing.assert_array_equal(
+            loaded.records[0].result.histogram.counts,
+            result.records[0].result.histogram.counts,
+        )
+
+    def test_round_trip_metrics_only(self):
+        result = Experiment(
+            policies=["scd"],
+            systems=SMALL,
+            loads=0.8,
+            rounds=150,
+            workloads=WorkloadSpec.skewed(2.0),
+        ).run(keep_results=False)
+        payload = experiment_result_to_dict(result)
+        loaded = experiment_result_from_dict(payload)
+        assert loaded.records == result.records
+        assert loaded.experiment.workloads[0].skew == 2.0
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            experiment_result_from_dict({"kind": "nope", "format_version": 1})
+
+    def test_loaded_factory_workload_rerun_fails_loudly(self):
+        """Factories do not survive JSON; re-running must raise, not
+        silently simulate the default workload under the old name."""
+        result = Experiment(
+            policies="scd",
+            systems=SMALL,
+            loads=0.8,
+            rounds=100,
+            workloads=WorkloadSpec.bursty(3.0),
+        ).run(keep_results=False)
+        loaded = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert loaded.records == result.records  # records stay usable
+        with pytest.raises(ValueError, match="loaded from JSON"):
+            loaded.experiment.run()

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import dispatch_instances
+from _helpers import dispatch_instances
 from repro.policies.greedy import (
     greedy_batch_assign,
     greedy_batch_assign_heap,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import dispatch_instances
+from _helpers import dispatch_instances
 from repro.core.iwl import (
     compute_iba,
     compute_iwl,

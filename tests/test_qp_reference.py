@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from conftest import dispatch_instances
+from _helpers import dispatch_instances
 from repro.core.iwl import compute_iwl
 from repro.core.probabilities import scd_objective, scd_probabilities
 from repro.core.qp_reference import brute_force_probabilities, slsqp_probabilities
