@@ -1,0 +1,211 @@
+"""Engine-backend speedup benchmark: reference vs fast round kernel.
+
+Times identical simulations on both engine backends over a grid of
+system sizes and policies, prints a comparison table, and writes a
+machine-readable perf record (``BENCH_engine.json``) so the repo's
+performance trajectory is tracked run over run.
+
+Run as a script (CI runs this as a non-gating smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --sizes 100x50 --rounds 10000 --policies jsq
+
+The default grid includes the acceptance configuration: 100 servers /
+50 dispatchers at 10^4 rounds, where the fast backend's native batch
+policies (jsq, rr, wr) must clear a 3x rounds/sec speedup (checked by
+``--check``; informational otherwise).
+
+Under ``pytest benchmarks`` a single smoke cell runs and validates the
+record's shape without asserting timings (CI boxes are too noisy for a
+gating speedup threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+import repro
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+DEFAULT_SIZES = ("20x10", "50x20", "100x50")
+DEFAULT_POLICIES = ("jsq", "rr", "wr")
+#: Acceptance bar: fast/reference rounds-per-second at the 100x50 grid point.
+TARGET_SPEEDUP = 3.0
+TARGET_SIZE = "100x50"
+
+
+def _parse_size(token: str) -> tuple[int, int]:
+    n_text, m_text = token.lower().split("x")
+    return int(n_text), int(m_text)
+
+
+def _build_sim(
+    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, backend: str
+) -> repro.Simulation:
+    system = repro.SystemSpec(num_servers=n, num_dispatchers=m)
+    rates = system.rates()
+    return repro.Simulation(
+        rates=rates,
+        policy=repro.make_policy(policy),
+        arrivals=repro.PoissonArrivals(system.lambdas(rho)),
+        service=repro.GeometricService(rates),
+        config=repro.SimulationConfig(rounds=rounds, seed=seed, backend=backend),
+    )
+
+
+def time_cell(
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """Best-of-``repeats`` wall time per backend for one grid point."""
+    cell: dict = {
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+    }
+    means = {}
+    for backend in ("reference", "fast"):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
+            start = time.perf_counter()
+            result = sim.run()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        means[backend] = result.mean_response_time
+        cell[f"{backend}_seconds"] = best
+        cell[f"{backend}_rounds_per_sec"] = rounds / best
+    cell["speedup"] = cell["fast_rounds_per_sec"] / cell["reference_rounds_per_sec"]
+    # Native deterministic policies must agree exactly; stochastic native
+    # paths are statistically equivalent, so record both means.
+    cell["reference_mean_response"] = means["reference"]
+    cell["fast_mean_response"] = means["fast"]
+    return cell
+
+
+def run_grid(
+    sizes: tuple[str, ...],
+    policies: tuple[str, ...],
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """Time every (size, policy) cell and assemble the perf record."""
+    cells = []
+    for token in sizes:
+        n, m = _parse_size(token)
+        for policy in policies:
+            cell = time_cell(policy, n, m, rho, rounds, seed, repeats)
+            cells.append(cell)
+            print(
+                f"n={n:4d} m={m:3d} {policy:6s} "
+                f"ref={cell['reference_rounds_per_sec']:9.0f} r/s  "
+                f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
+                f"speedup={cell['speedup']:.2f}x"
+            )
+    headline = [
+        c
+        for c in cells
+        if f"{c['num_servers']}x{c['num_dispatchers']}" == TARGET_SIZE
+    ]
+    return {
+        "benchmark": "backend_speedup",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "parameters": {
+            "sizes": list(sizes),
+            "policies": list(policies),
+            "rho": rho,
+            "rounds": rounds,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "cells": cells,
+        "headline": {
+            "target_size": TARGET_SIZE,
+            "target_speedup": TARGET_SPEEDUP,
+            "best_speedup": max((c["speedup"] for c in headline), default=None),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", nargs="+", default=list(DEFAULT_SIZES), metavar="NxM")
+    parser.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    parser.add_argument("--rho", type=float, default=0.9)
+    parser.add_argument("--rounds", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless the {TARGET_SIZE} headline speedup "
+        f"reaches {TARGET_SPEEDUP}x",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_grid(
+        tuple(args.sizes),
+        tuple(args.policies),
+        args.rho,
+        args.rounds,
+        args.seed,
+        args.repeats,
+    )
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"perf record written to {args.out}")
+
+    best = record["headline"]["best_speedup"]
+    if best is not None:
+        print(f"headline ({TARGET_SIZE}): best speedup {best:.2f}x")
+    if args.check:
+        if best is None:
+            print(f"--check requires a {TARGET_SIZE} cell in --sizes")
+            return 2
+        if best < TARGET_SPEEDUP:
+            print(f"FAIL: {best:.2f}x < {TARGET_SPEEDUP}x")
+            return 1
+        print(f"OK: {best:.2f}x >= {TARGET_SPEEDUP}x")
+    return 0
+
+
+def test_backend_speedup_record(tmp_path):
+    """Smoke: one tiny grid point produces a well-formed perf record."""
+    record = run_grid(("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1)
+    out = tmp_path / "BENCH_engine.json"
+    out.write_text(json.dumps(record))
+    loaded = json.loads(out.read_text())
+    assert loaded["benchmark"] == "backend_speedup"
+    (cell,) = loaded["cells"]
+    assert cell["reference_rounds_per_sec"] > 0
+    assert cell["fast_rounds_per_sec"] > 0
+    # jsq is deterministic: both backends simulate the identical run.
+    assert cell["reference_mean_response"] == cell["fast_mean_response"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,16 @@ from .sim.arrivals import (
     PoissonArrivals,
     TraceArrivals,
 )
+from .sim.backends import (
+    EngineBackend,
+    FastBackend,
+    ReferenceBackend,
+    available_backends,
+    backend_descriptions,
+    make_backend,
+    register_backend,
+)
+from .sim.batchstore import BatchQueueStore
 from .sim.engine import Simulation, SimulationConfig, SimulationResult, simulate
 from .sim.metrics import QueueLengthSeries, ResponseTimeHistogram
 from .sim.seeding import derive_seed, spawn_streams
@@ -206,6 +216,14 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "simulate",
+    "EngineBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+    "backend_descriptions",
+    "BatchQueueStore",
     "ServerQueue",
     "ResponseTimeHistogram",
     "JobSizeDistribution",

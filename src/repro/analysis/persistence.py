@@ -55,6 +55,7 @@ def result_to_dict(result: SimulationResult) -> dict:
             "warmup": result.config.warmup,
             "seed": result.config.seed,
             "track_queue_series": result.config.track_queue_series,
+            "backend": result.config.backend,
         },
         "histogram": {
             "values": nonzero.tolist(),
@@ -83,9 +84,12 @@ def result_from_dict(payload: dict) -> SimulationResult:
         series = QueueLengthSeries(rounds_hint=len(payload["queue_series"]))
         for value in payload["queue_series"]:
             series.record(int(value))
+    config_payload = dict(payload["config"])
+    # Files written before the engine-backend registry carry no key.
+    config_payload.setdefault("backend", "reference")
     return SimulationResult(
         policy_name=payload["policy_name"],
-        config=SimulationConfig(**payload["config"]),
+        config=SimulationConfig(**config_payload),
         histogram=hist,
         queue_series=series,
         total_arrived=int(payload["total_arrived"]),
@@ -256,6 +260,7 @@ def experiment_result_from_dict(payload: dict) -> ExperimentResult:
         rounds=int(spec["rounds"]),
         warmup=int(spec["warmup"]),
         base_seed=int(spec["base_seed"]),
+        backend=spec.get("backend", "reference"),
     )
     records = tuple(_record_from_dict(r) for r in payload["records"])
     return ExperimentResult(experiment=experiment, records=records)

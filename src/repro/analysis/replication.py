@@ -96,6 +96,7 @@ def replicated_runs(
         rounds=config.rounds,
         warmup=config.warmup,
         base_seed=config.base_seed,
+        backend=config.backend,
     )
     records = experiment.run(keep_results=False).records
     means = [r.metrics["mean"] for r in sorted(records, key=lambda r: r.replication)]

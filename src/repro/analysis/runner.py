@@ -37,12 +37,14 @@ class ExperimentConfig:
     """Shared run-length parameters for a family of simulations.
 
     ``base_seed`` shifts the whole experiment to a fresh workload
-    realization (use different values for replications).
+    realization (use different values for replications).  ``backend``
+    picks the engine round kernel (see :mod:`repro.sim.backends`).
     """
 
     rounds: int = 10_000
     warmup: int = 0
     base_seed: int = 0
+    backend: str = "reference"
 
 
 def _workload_seed(config: ExperimentConfig, system: SystemSpec, rho: float) -> int:
@@ -77,6 +79,7 @@ def run_simulation(
         seed=_workload_seed(config, system, rho),
         rounds=config.rounds,
         warmup=config.warmup,
+        backend=config.backend,
     )
 
 
@@ -120,6 +123,7 @@ def mean_response_sweep(
         rounds=config.rounds,
         warmup=config.warmup,
         base_seed=config.base_seed,
+        backend=config.backend,
     )
     result = experiment.run(workers=workers, keep_results=False)
     return result.to_sweep()
@@ -141,6 +145,7 @@ def tail_experiment(
         rounds=config.rounds,
         warmup=config.warmup,
         base_seed=config.base_seed,
+        backend=config.backend,
     )
     result = experiment.run(workers=workers, keep_results=True)
     return {record.policy: record.result for record in result.records}

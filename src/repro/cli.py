@@ -5,8 +5,10 @@ Installed as the ``repro`` console script (also ``python -m repro``).
 Subcommands
 -----------
 ``policies``    list the registered dispatching policies
+``backends``    list the registered engine backends (round kernels)
 ``experiment``  declarative grid: policies x systems x loads x reps x
                 workload, optionally on a process pool (``--workers``)
+                and/or the vectorized engine (``--backend fast``)
 ``simulate``    one (policy, system, load) run; optional JSON output
 ``sweep``       mean response times over a load grid, several policies
 ``tails``       tail quantiles at one load, several policies
@@ -20,6 +22,7 @@ Examples
     repro experiment --policies scd jsq sed --systems 100x10 200x20 \
         --loads 0.7 0.9 --replications 3 --workers 8 --save grid.json
     repro experiment --policies scd sed --workload skew:3 --loads 0.9
+    repro experiment --policies jsq rr wr --backend fast --rounds 100000
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
@@ -50,6 +53,7 @@ from repro.analysis.stability import assess_stability
 from repro.analysis.tables import format_series_table, format_table
 from repro.core.theory import strong_stability_bound
 from repro.policies.base import available_policies
+from repro.sim.backends import available_backends, backend_descriptions
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = ["main", "build_parser"]
@@ -83,13 +87,24 @@ def _system_from(args: argparse.Namespace) -> SystemSpec:
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
-        rounds=args.rounds, warmup=args.warmup, base_seed=args.seed
+        rounds=args.rounds,
+        warmup=args.warmup,
+        base_seed=args.seed,
+        backend=getattr(args, "backend", "reference"),
     )
 
 
 def cmd_policies(args: argparse.Namespace) -> int:
     for name in available_policies():
         print(name)
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    descriptions = backend_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:<{width}}  {description}")
     return 0
 
 
@@ -138,6 +153,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             warmup=args.warmup,
             base_seed=args.seed,
+            backend=args.backend,
         )
     except ValueError as error:
         raise SystemExit(f"invalid experiment: {error}")
@@ -147,7 +163,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         f"({len(experiment.policies)} policies x {len(systems)} systems x "
         f"{len(experiment.loads)} loads x {experiment.replications} reps, "
         f"workload: {workload.name}, rounds/cell: {experiment.rounds}, "
-        f"workers: {args.workers})"
+        f"workers: {args.workers}, backend: {experiment.backend})"
     )
     result = experiment.run(workers=args.workers, keep_results=bool(args.save))
     aggregated = result.aggregate("mean")
@@ -293,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_policies)
 
     p = sub.add_parser(
+        "backends", help="list registered engine backends (round kernels)"
+    )
+    p.set_defaults(func=cmd_backends)
+
+    p = sub.add_parser(
         "experiment",
         help="declarative grid: policies x systems x loads x replications",
     )
@@ -319,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers (1 = serial; results are identical)",
     )
     p.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="engine round kernel: 'reference' (bit-exact default) or "
+        "'fast' (vectorized; bit-identical for deterministic policies, "
+        "statistically equivalent for stochastic ones); see "
+        "`repro backends`",
+    )
+    p.add_argument(
         "--profile",
         default="u1_10",
         choices=["u1_10", "u1_100", "bimodal", "homogeneous"],
@@ -332,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="scd")
     p.add_argument("--rho", type=float, default=0.9)
     p.add_argument("--save", help="write the result as JSON")
+    p.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="engine round kernel (see `repro backends`)",
+    )
     _add_system_args(p)
     _add_run_args(p)
     p.set_defaults(func=cmd_simulate)

@@ -50,13 +50,17 @@ def simulate_cell(
     seed: int,
     rounds: int,
     warmup: int = 0,
+    backend: str = "reference",
 ) -> SimulationResult | SizedSimulationResult:
     """Run one simulation at fully resolved coordinates.
 
     The shared low-level path of both executors and the legacy
     ``run_simulation`` wrapper: builds the workload's processes, binds a
     fresh policy, and runs the appropriate engine (sized when the
-    workload carries a job-size distribution).
+    workload carries a job-size distribution).  ``backend`` selects the
+    round kernel (:mod:`repro.sim.backends`) for unsized workloads; the
+    sized-job engine has no backend registry yet, so anything but the
+    default fails loudly there.
     """
     rates = system.rates()
     policy_obj = policy if isinstance(policy, Policy) else PolicySpec.of(policy).build()
@@ -65,6 +69,11 @@ def simulate_cell(
     if workload.job_sizes is not None:
         if warmup:
             raise ValueError("the sized-job engine does not support warmup")
+        if backend != "reference":
+            raise ValueError(
+                f"the sized-job engine does not support engine backends "
+                f"(requested {backend!r}); use the default 'reference'"
+            )
         return SizedSimulation(
             rates=rates,
             policy=policy_obj,
@@ -79,7 +88,9 @@ def simulate_cell(
         policy=policy_obj,
         arrivals=arrivals,
         service=service,
-        config=SimulationConfig(rounds=rounds, warmup=warmup, seed=seed),
+        config=SimulationConfig(
+            rounds=rounds, warmup=warmup, seed=seed, backend=backend
+        ),
     ).run()
 
 
@@ -93,6 +104,7 @@ def execute_cell(cell: Cell, keep_results: bool = True) -> CellRecord:
         cell.seed,
         cell.rounds,
         cell.warmup,
+        cell.backend,
     )
     return CellRecord(
         policy=cell.policy.label,

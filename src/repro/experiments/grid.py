@@ -97,6 +97,7 @@ class Cell:
     seed: int
     rounds: int
     warmup: int
+    backend: str = "reference"
 
 
 def _as_tuple(value, scalar_types) -> tuple:
@@ -134,6 +135,10 @@ class Experiment:
     rounds: int = 10_000
     warmup: int = 0
     base_seed: int = 0
+    #: Engine-backend registry name every cell runs on (see
+    #: :mod:`repro.sim.backends`); ``"reference"`` is the bit-exact
+    #: default, ``"fast"`` the vectorized kernel.
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         policies = tuple(
@@ -158,6 +163,21 @@ class Experiment:
             raise ValueError("rounds must be >= 1")
         if not 0 <= self.warmup < self.rounds:
             raise ValueError("warmup must be in [0, rounds)")
+        from repro.sim.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; "
+                f"known backends: {', '.join(available_backends())}"
+            )
+        if self.backend != "reference":
+            sized = [w.name for w in workloads if w.job_sizes is not None]
+            if sized:
+                raise ValueError(
+                    f"sized workloads {sized} run on the sized-job engine, "
+                    f"which does not support engine backends; use the "
+                    f"default backend='reference'"
+                )
 
     # -- grid enumeration --------------------------------------------------
 
@@ -200,6 +220,7 @@ class Experiment:
                     seed=seed,
                     rounds=self.rounds,
                     warmup=self.warmup,
+                    backend=self.backend,
                 )
                 index += 1
 
@@ -281,4 +302,5 @@ class Experiment:
             "rounds": self.rounds,
             "warmup": self.warmup,
             "base_seed": self.base_seed,
+            "backend": self.backend,
         }

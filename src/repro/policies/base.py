@@ -10,7 +10,11 @@ life-cycle:
    snapshot all dispatchers observe (the model of Section 2 gives every
    dispatcher the same `q_s(t)`).
 3. :meth:`Policy.dispatch` -- once per dispatcher with a non-empty batch;
-   returns per-server job counts for that dispatcher's whole batch.
+   returns per-server job counts for that dispatcher's whole batch.  The
+   vectorized engine backend instead makes one :meth:`Policy.dispatch_round`
+   call per round (the *batch protocol*); its base implementation falls
+   back to looping ``dispatch``, and snapshot-only policies override it
+   with a native numpy path.
 4. :meth:`Policy.end_round` -- after departures, with the updated queues
    (used by policies with local state, e.g. LSQ's sampled refreshes).
 
@@ -39,6 +43,7 @@ __all__ = [
     "register_policy",
     "make_policy",
     "available_policies",
+    "has_native_dispatch_round",
 ]
 
 
@@ -92,7 +97,20 @@ class Policy(ABC):
     # -- life-cycle -------------------------------------------------------
 
     def bind(self, ctx: SystemContext) -> None:
-        """Attach the policy to a system; called once before the first round."""
+        """Attach the policy to a system; called once before the first round.
+
+        A policy instance carries per-system mutable state (local views,
+        rotation positions, credit counters...), so binding an
+        already-bound instance to a second system would silently share
+        that state across simulations.  Rebinding therefore raises;
+        build a fresh instance (``make_policy``) per simulation.
+        """
+        if self.ctx is not None:
+            raise RuntimeError(
+                f"policy {self.name!r} is already bound to a system; "
+                f"policies carry per-system state, so build a fresh "
+                f"instance (e.g. via make_policy) for each simulation"
+            )
         self.ctx = ctx
         self._on_bind()
 
@@ -114,6 +132,43 @@ class Policy(ABC):
         ``num_jobs``: the count of jobs this dispatcher forwards to each
         server this round.
         """
+
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """Assign a whole round's batches in one call (the batch protocol).
+
+        Parameters
+        ----------
+        batch:
+            Int array of length ``m``: each dispatcher's batch size this
+            round (zeros allowed).
+        queues:
+            The round's shared queue-length snapshot (length ``n``,
+            read-only) -- the same array ``begin_round`` received.
+
+        Returns
+        -------
+        numpy.ndarray
+            An ``(m, n)`` int64 matrix; row ``d`` is dispatcher ``d``'s
+            per-server job counts and sums to ``batch[d]``.
+
+        The base implementation loops over the classic per-dispatcher
+        :meth:`dispatch` in dispatcher order, skipping empty batches --
+        *bit-identical* to what the reference engine backend does, for
+        any policy.  Policies whose decisions depend only on the shared
+        snapshot (and not on per-dispatcher sequential state fed by
+        earlier rounds' RNG draws) override this with a native
+        vectorized path; deterministic overrides must reproduce the
+        fallback exactly, stochastic overrides may restructure their RNG
+        consumption (statistically equivalent, not bit-equal).
+        """
+        assert self.ctx is not None, "policy used before bind()"
+        rows = np.zeros((self.ctx.num_dispatchers, self.ctx.num_servers), dtype=np.int64)
+        for d in range(self.ctx.num_dispatchers):
+            k = int(batch[d])
+            if k == 0:
+                continue
+            rows[d] = self.dispatch(d, k)
+        return rows
 
     def end_round(self, round_index: int, queues: np.ndarray) -> None:
         """Observe post-departure queues (for local-state policies)."""
@@ -175,3 +230,14 @@ def make_policy(spec: str | Policy, **kwargs) -> Policy:
 def available_policies() -> list[str]:
     """Names accepted by :func:`make_policy`, sorted."""
     return sorted(_REGISTRY)
+
+
+def has_native_dispatch_round(policy: Policy) -> bool:
+    """True when ``policy`` overrides the batch protocol with a native path.
+
+    Policies using the base-class fallback are bit-identical between the
+    reference and fast engine backends; native stochastic overrides are
+    only statistically equivalent (they reshape RNG consumption), which
+    tests and benchmarks need to know.
+    """
+    return type(policy).dispatch_round is not Policy.dispatch_round

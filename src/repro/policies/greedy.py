@@ -33,6 +33,7 @@ from repro.core.iwl import compute_iwl
 __all__ = [
     "greedy_batch_assign",
     "greedy_batch_assign_heap",
+    "greedy_rows_for_batches",
     "greedy_certificate_ok",
 ]
 
@@ -120,6 +121,29 @@ def greedy_batch_assign(
     chosen = np.argpartition(flat, remaining - 1)[:remaining]
     extra = np.bincount(chosen // remaining, minlength=n)
     return base + extra
+
+
+def greedy_rows_for_batches(
+    queues: np.ndarray,
+    rates: np.ndarray,
+    batch: np.ndarray,
+) -> np.ndarray:
+    """Whole-round greedy assignment: one ``(m, n)`` matrix of counts.
+
+    Every dispatcher decides against the *same* snapshot, so dispatchers
+    with equal batch sizes produce identical (deterministic) assignments
+    -- the greedy runs once per *distinct* batch size instead of once per
+    dispatcher.  Bit-identical to calling :func:`greedy_batch_assign`
+    per dispatcher; this is the native batch-protocol path of JSQ/SED.
+    """
+    batch = np.asarray(batch, dtype=np.int64)
+    queues = np.asarray(queues)
+    rows = np.zeros((batch.size, queues.size), dtype=np.int64)
+    for k in np.unique(batch):
+        if k == 0:
+            continue
+        rows[batch == k] = greedy_batch_assign(queues, rates, int(k))
+    return rows
 
 
 def _heap_finish(

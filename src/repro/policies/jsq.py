@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Policy, register_policy
-from .greedy import greedy_batch_assign
+from .greedy import greedy_batch_assign, greedy_rows_for_batches
 
 __all__ = ["JSQPolicy", "SEDPolicy"]
 
@@ -45,6 +45,9 @@ class JSQPolicy(Policy):
     def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
         return greedy_batch_assign(self._queues, self._ones, num_jobs)
 
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        return greedy_rows_for_batches(queues, self._ones, batch)
+
 
 @register_policy("sed")
 class SEDPolicy(Policy):
@@ -60,3 +63,6 @@ class SEDPolicy(Policy):
 
     def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
         return greedy_batch_assign(self._queues, self.rates, num_jobs)
+
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        return greedy_rows_for_batches(queues, self.rates, batch)

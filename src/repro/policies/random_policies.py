@@ -9,7 +9,12 @@ more than they can process); it is included as a sanity baseline and for
 the stability ablation.
 
 For a probability-vector policy, dispatching a batch of ``k`` jobs i.i.d.
-is exactly a multinomial draw, so these dispatch in one vectorized call.
+is exactly a multinomial draw, so these dispatch in one vectorized call --
+and a whole *round* (every dispatcher's batch) is one stacked multinomial
+draw, which is the native batch-protocol path below.  The batched draw
+consumes the policy RNG stream differently from per-dispatcher draws, so
+the fast engine backend is statistically (not bit-) equivalent to the
+reference backend for these policies.
 """
 
 from __future__ import annotations
@@ -33,6 +38,11 @@ class WeightedRandomPolicy(Policy):
     def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
         return self.rng.multinomial(int(num_jobs), self._probs).astype(np.int64)
 
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        return self.rng.multinomial(
+            np.asarray(batch, dtype=np.int64), self._probs
+        ).astype(np.int64)
+
 
 @register_policy("random")
 class UniformRandomPolicy(Policy):
@@ -46,3 +56,8 @@ class UniformRandomPolicy(Policy):
 
     def dispatch(self, dispatcher: int, num_jobs: int) -> np.ndarray:
         return self.rng.multinomial(int(num_jobs), self._probs).astype(np.int64)
+
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        return self.rng.multinomial(
+            np.asarray(batch, dtype=np.int64), self._probs
+        ).astype(np.int64)

@@ -7,6 +7,16 @@ from .arrivals import (
     PoissonArrivals,
     TraceArrivals,
 )
+from .backends import (
+    EngineBackend,
+    FastBackend,
+    ReferenceBackend,
+    available_backends,
+    backend_descriptions,
+    make_backend,
+    register_backend,
+)
+from .batchstore import BatchQueueStore
 from .engine import Simulation, SimulationConfig, SimulationResult, simulate
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
 from .seeding import SimulationStreams, derive_seed, spawn_streams
@@ -27,6 +37,14 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "simulate",
+    "EngineBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+    "backend_descriptions",
+    "BatchQueueStore",
     "ServerQueue",
     "ResponseTimeHistogram",
     "QueueLengthSeries",

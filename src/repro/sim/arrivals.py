@@ -35,6 +35,21 @@ class ArrivalProcess(ABC):
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         """Return an int64 array of length ``m`` with this round's arrivals."""
 
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        """Return a ``(count, m)`` block of batches for consecutive rounds.
+
+        The fast engine backend pre-samples rounds in chunks.  The default
+        loops :meth:`sample` (bit-identical RNG consumption for stateful
+        processes); memoryless processes override with one block draw --
+        numpy fills output arrays in C order, element by element, so the
+        block consumes the stream exactly like ``count`` sequential calls.
+        """
+        return np.stack(
+            [self.sample(rng, start_round + i) for i in range(count)]
+        )
+
     def reset(self) -> None:
         """Clear internal state (modulation phase, trace position...)."""
 
@@ -64,6 +79,13 @@ class PoissonArrivals(ArrivalProcess):
 
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         return rng.poisson(self.lambdas).astype(np.int64)
+
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        return rng.poisson(
+            self.lambdas, size=(count, self.lambdas.size)
+        ).astype(np.int64)
 
 
 class DeterministicArrivals(ArrivalProcess):
@@ -117,6 +139,12 @@ class TraceArrivals(ArrivalProcess):
 
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         return self.trace[round_index % self.trace.shape[0]]
+
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        rows = (start_round + np.arange(count)) % self.trace.shape[0]
+        return self.trace[rows]
 
 
 class ModulatedPoissonArrivals(ArrivalProcess):

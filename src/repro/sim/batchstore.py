@@ -1,0 +1,225 @@
+"""Array-backed FIFO batch storage, resolved one round-block at a time.
+
+The reference engine keeps one :class:`repro.sim.server.ServerQueue`
+(a deque of ``[arrival_round, count]`` cells) per server and drains them
+one Python call per server per round.  :class:`BatchQueueStore` holds
+the same information for the whole pool as flat server-major arrays --
+a structure of ``(arrival_round, count)`` pairs -- and exploits that a
+round's *queue dynamics* need only the per-server totals: the engine can
+run a whole block of rounds updating ``queues += received - done`` and
+hand the store the block's ``(rounds, servers)`` admission and
+completion matrices afterwards.  FIFO response times are then recovered
+for every server at once by a prefix-sum argument:
+
+* Within one server, jobs occupy FIFO *positions* ``1..N``; batch ``j``
+  covers the position interval ``(B_{j-1}, B_j]`` of the cumulative
+  batch counts, and the departures of round ``u`` cover
+  ``(D_{u-1}, D_u]`` of the cumulative completion counts.
+* Laying the servers' position axes end-to-end turns both families into
+  global sorted boundary sequences; merging them decomposes the block's
+  completions into segments, each belonging to exactly one batch and
+  one departure round -- precisely the ``(response_time, count)`` pairs
+  the reference engine records one at a time.
+* Segments not covered by any departure (guarded by per-server sentinel
+  boundaries) are the carry: batches still queued when the block ends,
+  re-stored in server-major FIFO order for the next block.
+
+Total work per block is a handful of numpy operations of size
+O(batches + completions) -- the same asymptotic count as the pairs the
+reference records -- with none of the per-round small-array overhead.
+The result is bit-identical to draining the reference queues: both
+produce the same multiset of (response time, count) records and the
+same leftover batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import ResponseTimeHistogram
+
+__all__ = ["BatchQueueStore"]
+
+
+class BatchQueueStore:
+    """Pending ``(arrival_round, count)`` batches for ``n`` servers.
+
+    State between blocks is three flat arrays: per-server batch counts
+    and arrival rounds (server-major, FIFO within server) plus the
+    per-server batch- and job-totals.  :meth:`process_block` advances
+    the store over a block of rounds given the block's admission and
+    completion matrices.
+    """
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self._n = int(num_servers)
+        self._rounds = np.empty(0, dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._lengths = np.zeros(self._n, dtype=np.int64)
+        self._jobs = np.zeros(self._n, dtype=np.int64)
+
+    # -- state inspection (tests, debugging) -------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return self._n
+
+    def batch_counts(self) -> np.ndarray:
+        """Number of pending batches per server."""
+        return self._lengths.copy()
+
+    def queued_jobs(self) -> np.ndarray:
+        """Total queued jobs per server (sum of pending batch counts)."""
+        return self._jobs.copy()
+
+    # -- block resolution --------------------------------------------------
+
+    def process_block(
+        self,
+        start_round: int,
+        received_block: np.ndarray,
+        done_block: np.ndarray,
+        histogram: ResponseTimeHistogram | None,
+        warmup: int = 0,
+    ) -> None:
+        """Advance the store over rounds ``start_round .. start_round+L-1``.
+
+        Parameters
+        ----------
+        received_block:
+            ``(L, n)`` jobs admitted per round per server (round ``t``'s
+            arrivals are FIFO-behind everything queued before it).
+        done_block:
+            ``(L, n)`` jobs completed per round per server.  The engine
+            guarantees the per-round feasibility ``done <= queued``;
+            block totals are re-checked here as a corruption guard.
+        histogram:
+            Destination for the response times ``depart - arrive + 1``
+            of every completion in the block; ``None`` discards them.
+        warmup:
+            Completions in rounds ``< warmup`` are not recorded (queue
+            accounting still includes them), matching the reference
+            engine's per-round sink gating.
+        """
+        n = self._n
+        new_totals = received_block.sum(axis=0)
+        server_totals = self._jobs + new_totals
+        dep_totals = done_block.sum(axis=0)
+        if np.any(dep_totals > server_totals):
+            raise RuntimeError(
+                "batch store drained past its contents; "
+                "engine accounting is corrupt"
+            )
+        if not server_totals.any():
+            return
+
+        # Batch sequence per server: carried batches first, then the
+        # block's admissions in round order (server-major throughout).
+        received_by_server = received_block.T
+        new_srv, new_col = np.nonzero(received_by_server)
+        new_counts = received_by_server[new_srv, new_col]
+        new_rounds = start_round + new_col
+        new_lengths = np.bincount(new_srv, minlength=n)
+        old_lengths = self._lengths
+        total_lengths = old_lengths + new_lengths
+        num_batches = int(total_lengths.sum())
+        batch_rounds = np.empty(num_batches, dtype=np.int64)
+        batch_counts = np.empty(num_batches, dtype=np.int64)
+        dest_base = np.cumsum(total_lengths) - total_lengths
+        old_total = self._rounds.size
+        if old_total:
+            old_base = np.cumsum(old_lengths) - old_lengths
+            old_dest = (
+                np.repeat(dest_base, old_lengths)
+                + np.arange(old_total)
+                - np.repeat(old_base, old_lengths)
+            )
+            batch_rounds[old_dest] = self._rounds
+            batch_counts[old_dest] = self._counts
+        if new_counts.size:
+            new_base = np.cumsum(new_lengths) - new_lengths
+            new_dest = (
+                np.repeat(dest_base + old_lengths, new_lengths)
+                + np.arange(new_counts.size)
+                - np.repeat(new_base, new_lengths)
+            )
+            batch_rounds[new_dest] = new_rounds
+            batch_counts[new_dest] = new_counts
+        batch_server = np.repeat(np.arange(n), total_lengths)
+
+        # Global position axis: server s occupies the half-open interval
+        # (server_base[s], server_base[s] + server_totals[s]].
+        server_base = np.cumsum(server_totals) - server_totals
+        batch_ends = np.cumsum(batch_counts)
+
+        # Departure boundaries on the same axis, plus one sentinel per
+        # server with jobs left over so every position maps to either a
+        # departure round or "still queued".
+        done_by_server = done_block.T
+        dep_srv, dep_col = np.nonzero(done_by_server)
+        dep_counts = done_by_server[dep_srv, dep_col]
+        dep_base = np.cumsum(dep_totals) - dep_totals
+        dep_ends = (
+            server_base[dep_srv] + np.cumsum(dep_counts) - dep_base[dep_srv]
+        )
+        leftover_jobs = server_totals - dep_totals
+        sentinel_srv = np.flatnonzero(leftover_jobs)
+        sentinel_ends = server_base[sentinel_srv] + server_totals[sentinel_srv]
+        num_deps = dep_ends.size
+        all_dep_ends = np.concatenate([dep_ends, sentinel_ends])
+        all_dep_rounds = np.concatenate(
+            [
+                start_round + dep_col,
+                np.zeros(sentinel_srv.size, dtype=np.int64),
+            ]
+        )
+        still_queued = np.concatenate(
+            [
+                np.zeros(num_deps, dtype=bool),
+                np.ones(sentinel_srv.size, dtype=bool),
+            ]
+        )
+        order = np.argsort(all_dep_ends, kind="stable")
+        all_dep_ends = all_dep_ends[order]
+        all_dep_rounds = all_dep_rounds[order]
+        still_queued = still_queued[order]
+
+        # Merge both boundary families into elementary segments; each
+        # non-empty segment lies in exactly one batch and one departure
+        # interval (duplicate boundaries yield empty segments, dropped).
+        ends = np.sort(np.concatenate([batch_ends, all_dep_ends]))
+        starts = np.concatenate([[0], ends[:-1]])
+        seg_len = ends - starts
+        nonempty = seg_len > 0
+        starts = starts[nonempty]
+        seg_len = seg_len[nonempty]
+        seg_batch = np.searchsorted(batch_ends, starts, side="right")
+        seg_dep = np.searchsorted(all_dep_ends, starts, side="right")
+
+        if histogram is not None:
+            dep_round = all_dep_rounds[seg_dep]
+            record = ~still_queued[seg_dep] & (dep_round >= warmup)
+            histogram.record_many(
+                dep_round[record] - batch_rounds[seg_batch[record]] + 1,
+                seg_len[record],
+            )
+
+        # Segments mapped to a sentinel are the carry; global segment
+        # order is server-major FIFO, and each pending batch contributes
+        # at most one segment (no departure boundary splits it), so the
+        # carry stays batch-granular.
+        left = still_queued[seg_dep]
+        left_batches = seg_batch[left]
+        self._rounds = batch_rounds[left_batches]
+        self._counts = seg_len[left]
+        self._lengths = np.bincount(batch_server[left_batches], minlength=n)
+        self._jobs = leftover_jobs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BatchQueueStore servers={self._n} "
+            f"batches={int(self._lengths.sum())} "
+            f"jobs={int(self._jobs.sum())}>"
+        )

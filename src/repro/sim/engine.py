@@ -13,6 +13,11 @@ The engine maintains exact job accounting (arrived = departed + queued,
 asserted in tests) and draws workload randomness from streams that are
 independent of the policy stream, so runs with the same ``seed`` but
 different policies experience identical workloads.
+
+The round loop itself is pluggable: :class:`SimulationConfig.backend`
+names a round kernel from the :mod:`repro.sim.backends` registry
+(``"reference"`` -- the bit-exact per-object loop, the default -- or
+``"fast"`` -- the vectorized batch kernel).
 """
 
 from __future__ import annotations
@@ -26,7 +31,6 @@ from repro.policies.base import Policy, SystemContext
 from .arrivals import ArrivalProcess
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
 from .seeding import spawn_streams
-from .server import ServerQueue
 from .service import ServiceProcess
 
 __all__ = ["SimulationConfig", "SimulationResult", "Simulation", "simulate"]
@@ -50,18 +54,26 @@ class SimulationConfig:
     track_queue_series:
         Record the per-round total queue length (cheap; needed for
         stability diagnostics).
+    backend:
+        Engine-backend registry name (see :mod:`repro.sim.backends`).
+        ``"reference"`` is the original bit-exact loop; ``"fast"`` is the
+        vectorized round kernel.  Resolved when :meth:`Simulation.run` is
+        called, so unknown names fail with the list of known backends.
     """
 
     rounds: int = 10_000
     warmup: int = 0
     seed: int = 0
     track_queue_series: bool = True
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
         if not 0 <= self.warmup < self.rounds:
             raise ValueError("warmup must be in [0, rounds)")
+        if not self.backend:
+            raise ValueError("backend must be a non-empty registry name")
 
 
 @dataclass
@@ -144,77 +156,10 @@ class Simulation:
         service.reset()
 
     def run(self) -> SimulationResult:
-        """Execute all rounds and return the collected metrics."""
-        config = self.config
-        policy = self.policy
-        arrivals = self.arrivals
-        service = self.service
-        arrival_rng = self._streams.arrivals
-        departure_rng = self._streams.departures
+        """Execute all rounds via the configured backend (see ``backends``)."""
+        from .backends import make_backend
 
-        n = self.rates.size
-        m = arrivals.num_dispatchers
-        servers = [ServerQueue() for _ in range(n)]
-        queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = (
-            QueueLengthSeries(rounds_hint=config.rounds)
-            if config.track_queue_series
-            else None
-        )
-        total_arrived = 0
-        total_departed = 0
-        server_received = np.zeros(n, dtype=np.int64)
-        server_departed = np.zeros(n, dtype=np.int64)
-
-        for t in range(config.rounds):
-            # Phase 1: arrivals.
-            batch = arrivals.sample(arrival_rng, t)
-            round_total = int(batch.sum())
-            total_arrived += round_total
-
-            # Phase 2: dispatching (independent decisions, shared snapshot).
-            policy.begin_round(t, queues)
-            if round_total:
-                policy.observe_total_arrivals(round_total)
-                received = np.zeros(n, dtype=np.int64)
-                for d in range(m):
-                    k = int(batch[d])
-                    if k == 0:
-                        continue
-                    counts = policy.dispatch(d, k)
-                    received += counts
-                for s in np.flatnonzero(received):
-                    servers[s].admit(t, int(received[s]))
-                queues += received
-                server_received += received
-
-            # Phase 3: departures.
-            capacities = service.sample(departure_rng, t)
-            sink = histogram if t >= config.warmup else None
-            busy = np.flatnonzero((queues > 0) & (capacities > 0))
-            for s in busy:
-                done = servers[s].complete(int(capacities[s]), t, sink)
-                queues[s] -= done
-                total_departed += done
-                server_departed[s] += done
-
-            policy.end_round(t, queues)
-            if series is not None:
-                series.record(int(queues.sum()))
-
-        return SimulationResult(
-            policy_name=policy.name,
-            config=config,
-            histogram=histogram,
-            queue_series=series,
-            total_arrived=total_arrived,
-            total_departed=total_departed,
-            final_queued=int(queues.sum()),
-            final_queues=queues,
-            server_received=server_received,
-            server_departed=server_departed,
-        )
+        return make_backend(self.config.backend).run(self)
 
 
 def simulate(

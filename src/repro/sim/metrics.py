@@ -44,6 +44,36 @@ class ResponseTimeHistogram:
         if response_time > self._max_seen:
             self._max_seen = response_time
 
+    def record_many(self, response_times: np.ndarray, counts: np.ndarray) -> None:
+        """Bulk-add jobs: ``counts[i]`` jobs took ``response_times[i]`` rounds.
+
+        The vectorized engine backend drains whole server sets at once and
+        records their response times in one call; duplicate times are
+        accumulated (``np.add.at`` semantics), zero counts are ignored, and
+        the result is identical to the equivalent sequence of
+        :meth:`record` calls.
+        """
+        times = np.asarray(response_times, dtype=np.int64)
+        amounts = np.asarray(counts, dtype=np.int64)
+        if times.shape != amounts.shape:
+            raise ValueError("response_times and counts must have the same shape")
+        keep = amounts > 0
+        if not keep.all():
+            times = times[keep]
+            amounts = amounts[keep]
+        if times.size == 0:
+            return
+        hi = int(times.max())
+        if int(times.min()) < 1:
+            raise ValueError("response times must be >= 1")
+        if hi >= self._counts.size:
+            grown = np.zeros(max(self._counts.size * 2, hi + 1), dtype=np.int64)
+            grown[: self._counts.size] = self._counts
+            self._counts = grown
+        np.add.at(self._counts, times, amounts)
+        if hi > self._max_seen:
+            self._max_seen = hi
+
     def merge(self, other: "ResponseTimeHistogram") -> None:
         """Fold another histogram's counts into this one."""
         hi = other._max_seen

@@ -39,6 +39,20 @@ class ServiceProcess(ABC):
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         """Return an int64 array of length ``n`` with this round's capacities."""
 
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        """Return a ``(count, n)`` block of capacities for consecutive rounds.
+
+        Default loops :meth:`sample` (bit-identical for stateful
+        processes); memoryless processes override with one block draw,
+        which consumes the RNG stream exactly like sequential calls (C
+        order element-by-element fill).
+        """
+        return np.stack(
+            [self.sample(rng, start_round + i) for i in range(count)]
+        )
+
     def reset(self) -> None:
         """Clear internal state (credit counters, trace position...)."""
 
@@ -69,6 +83,14 @@ class GeometricService(ServiceProcess):
 
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         return (rng.geometric(self._success_prob) - 1).astype(np.int64)
+
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        draws = rng.geometric(
+            self._success_prob, size=(count, self.rates.size)
+        )
+        return (draws - 1).astype(np.int64)
 
 
 class DeterministicService(ServiceProcess):
@@ -121,3 +143,9 @@ class TraceService(ServiceProcess):
 
     def sample(self, rng: np.random.Generator, round_index: int) -> np.ndarray:
         return self.trace[round_index % self.trace.shape[0]]
+
+    def sample_many(
+        self, rng: np.random.Generator, start_round: int, count: int
+    ) -> np.ndarray:
+        rows = (start_round + np.arange(count)) % self.trace.shape[0]
+        return self.trace[rows]

@@ -202,17 +202,29 @@ class TestCLIEdges:
 
 
 class TestPolicyReuse:
-    def test_rebinding_resets_state(self):
-        """A policy instance can be reused across simulations."""
+    def test_rebinding_raises(self):
+        """Binding a bound policy to a second simulation fails loudly.
+
+        Policies carry per-system mutable state, so silent rebinding
+        would share it across simulations; fresh instances per
+        simulation are the contract.
+        """
         policy = make_policy("lsq")
-        for seed in (0, 1):
-            rates = np.ones(4)
-            sim = Simulation(
+        rates = np.ones(4)
+
+        def build(policy, seed):
+            return Simulation(
                 rates=rates,
                 policy=policy,
                 arrivals=PoissonArrivals(np.full(2, 1.5)),
                 service=GeometricService(rates),
                 config=SimulationConfig(rounds=100, seed=seed),
             )
-            result = sim.run()
-            assert result.total_arrived == result.total_departed + result.final_queued
+
+        result = build(policy, seed=0).run()
+        assert result.total_arrived == result.total_departed + result.final_queued
+        with pytest.raises(RuntimeError, match="already bound"):
+            build(policy, seed=1)
+        # A fresh instance binds fine.
+        result = build(make_policy("lsq"), seed=1).run()
+        assert result.total_arrived == result.total_departed + result.final_queued

@@ -10,7 +10,10 @@ reads the registry):
   array to every dispatcher -- a write would leak information across
   dispatchers and corrupt accounting);
 * zero-job dispatches return all-zero vectors;
-* repeated rounds never raise, whatever the queue state.
+* repeated rounds never raise, whatever the queue state;
+* the batch protocol ``dispatch_round`` returns an (m, n) matrix whose
+  rows sum to the dispatcher batches, and the native overrides of
+  deterministic policies reproduce the per-dispatcher loop exactly.
 """
 
 import numpy as np
@@ -18,7 +21,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.policies.base import SystemContext, available_policies, make_policy
+from repro.policies.base import (
+    Policy,
+    SystemContext,
+    available_policies,
+    has_native_dispatch_round,
+    make_policy,
+)
 
 #: Policies whose constructor needs no arguments (the whole registry).
 ALL_POLICIES = available_policies()
@@ -84,6 +93,69 @@ class TestUniversalContracts:
             counts = policy.dispatch(t % 3, batch)
             assert counts.sum() == batch
             policy.end_round(t, snapshot)
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+class TestBatchProtocolContracts:
+    """Every policy must honor dispatch_round, native or fallback."""
+
+    def test_rows_shape_sums_and_sign(self, name):
+        rates = np.array([1.0, 4.0, 2.0, 8.0, 3.0])
+        policy = bind(name, rates, m=4)
+        queues = np.array([7, 0, 3, 1, 12], dtype=np.int64)
+        policy.begin_round(0, queues)
+        batch = np.array([13, 0, 1, 6], dtype=np.int64)
+        rows = policy.dispatch_round(batch, queues)
+        assert rows.shape == (4, 5)
+        assert rows.dtype.kind == "i"
+        np.testing.assert_array_equal(rows.sum(axis=1), batch)
+        assert np.all(rows >= 0)
+        policy.end_round(0, queues)
+
+    def test_snapshot_never_mutated(self, name):
+        rates = np.array([2.0, 1.0, 5.0, 3.0])
+        policy = bind(name, rates, m=3)
+        queues = np.array([4, 9, 0, 2], dtype=np.int64)
+        pristine = queues.copy()
+        policy.begin_round(0, queues)
+        policy.dispatch_round(np.array([8, 2, 5], dtype=np.int64), queues)
+        np.testing.assert_array_equal(queues, pristine)
+
+    def test_all_zero_batches_give_zero_matrix(self, name):
+        rates = np.ones(3)
+        policy = bind(name, rates, m=2)
+        queues = np.zeros(3, dtype=np.int64)
+        policy.begin_round(0, queues)
+        rows = policy.dispatch_round(np.zeros(2, dtype=np.int64), queues)
+        np.testing.assert_array_equal(rows, np.zeros((2, 3), dtype=np.int64))
+
+
+#: Policies whose dispatch uses no randomness: a native dispatch_round
+#: must match the per-dispatcher fallback bit-for-bit, including carried
+#: state (round-robin positions) across rounds.
+DETERMINISTIC_NATIVE = [
+    name
+    for name in ALL_POLICIES
+    if name in {"jsq", "sed", "rr", "wrr"}
+    and has_native_dispatch_round(make_policy(name))
+]
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_NATIVE)
+def test_native_batch_path_matches_fallback(name):
+    rates = np.array([1.0, 4.0, 2.0, 8.0, 3.0])
+    native = bind(name, rates, m=4, seed=0)
+    looped = bind(name, rates, m=4, seed=0)
+    rng = np.random.default_rng(5)
+    queues = np.zeros(5, dtype=np.int64)
+    for t in range(6):
+        batch = rng.integers(0, 12, size=4)
+        native.begin_round(t, queues)
+        looped.begin_round(t, queues)
+        rows_native = native.dispatch_round(batch, queues)
+        rows_looped = Policy.dispatch_round(looped, batch, queues)
+        np.testing.assert_array_equal(rows_native, rows_looped)
+        queues = rng.integers(0, 30, size=5)
 
 
 class TestRegistryHygiene:
