@@ -1,24 +1,27 @@
 """Engine-backend speedup benchmark: reference vs fast round kernel.
 
-Times identical simulations on both engine backends over a grid of
-system sizes and policies, prints a comparison table, and writes a
-machine-readable perf record (``BENCH_engine.json``) so the repo's
-performance trajectory is tracked run over run.
+Times identical simulations on both engine backends -- the unsized
+round kernel (:mod:`repro.sim.backends`) *and* the sized-job kernel
+(:mod:`repro.sim.sizedbackends`) -- over a grid of system sizes and
+policies, prints a comparison table, and writes a machine-readable perf
+record (``BENCH_engine.json``) so the repo's performance trajectory is
+tracked run over run.
 
 Run as a script (CI runs this as a non-gating smoke step)::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
-        --sizes 100x50 --rounds 10000 --policies jsq
+        --sizes 100x50 --rounds 10000 --policies jsq --sized-sizes 100x50
 
-The default grid includes the acceptance configuration: 100 servers /
-50 dispatchers at 10^4 rounds, where the fast backend's native batch
-policies (jsq, rr, wr) must clear a 3x rounds/sec speedup (checked by
-``--check``; informational otherwise).
+The default grid includes both acceptance configurations at 100 servers
+/ 50 dispatchers and 10^4 rounds: the unsized kernel must clear a 3x
+rounds/sec speedup and the sized kernel a 2x speedup (checked by
+``--check``; informational otherwise), plus a larger 200x100 point for
+the scaling trajectory.
 
-Under ``pytest benchmarks`` a single smoke cell runs and validates the
-record's shape without asserting timings (CI boxes are too noisy for a
-gating speedup threshold).
+Under ``pytest benchmarks`` a single smoke cell per engine runs and
+validates the record's shape without asserting timings (CI boxes are
+too noisy for a gating speedup threshold).
 """
 
 from __future__ import annotations
@@ -36,10 +39,14 @@ import numpy as np
 import repro
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-DEFAULT_SIZES = ("20x10", "50x20", "100x50")
+DEFAULT_SIZES = ("20x10", "50x20", "100x50", "200x100")
 DEFAULT_POLICIES = ("jsq", "rr", "wr")
-#: Acceptance bar: fast/reference rounds-per-second at the 100x50 grid point.
+DEFAULT_SIZED_SIZES = ("20x10", "100x50")
+DEFAULT_SIZED_POLICIES = ("jsq", "rr", "wrr")
+#: Acceptance bars: fast/reference rounds-per-second at the 100x50 grid
+#: point, per engine.
 TARGET_SPEEDUP = 3.0
+SIZED_TARGET_SPEEDUP = 2.0
 TARGET_SIZE = "100x50"
 
 
@@ -62,6 +69,32 @@ def _build_sim(
     )
 
 
+def _build_sized_sim(
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    backend: str,
+    mean_size: float,
+) -> repro.SizedSimulation:
+    system = repro.SystemSpec(num_servers=n, num_dispatchers=m)
+    rates = system.rates()
+    sizes = repro.GeometricSize(mean_size)
+    jobs_per_round = rho * rates.sum() / sizes.mean
+    return repro.SizedSimulation(
+        rates=rates,
+        policy=repro.make_policy(policy),
+        arrivals=repro.PoissonArrivals(np.full(m, jobs_per_round / m)),
+        service=repro.GeometricService(rates),
+        sizes=sizes,
+        rounds=rounds,
+        seed=seed,
+        backend=backend,
+    )
+
+
 def time_cell(
     policy: str,
     n: int,
@@ -70,9 +103,12 @@ def time_cell(
     rounds: int,
     seed: int,
     repeats: int,
+    engine: str = "unsized",
+    mean_size: float = 3.0,
 ) -> dict:
     """Best-of-``repeats`` wall time per backend for one grid point."""
     cell: dict = {
+        "engine": engine,
         "policy": policy,
         "num_servers": n,
         "num_dispatchers": m,
@@ -80,11 +116,18 @@ def time_cell(
         "rounds": rounds,
         "seed": seed,
     }
+    if engine == "sized":
+        cell["mean_size"] = mean_size
     means = {}
     for backend in ("reference", "fast"):
         best = float("inf")
         for _ in range(repeats):
-            sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
+            if engine == "sized":
+                sim = _build_sized_sim(
+                    policy, n, m, rho, rounds, seed, backend, mean_size
+                )
+            else:
+                sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
             start = time.perf_counter()
             result = sim.run()
             elapsed = time.perf_counter() - start
@@ -100,6 +143,16 @@ def time_cell(
     return cell
 
 
+def _best_at_target(cells: list[dict], engine: str) -> float | None:
+    at_target = [
+        c
+        for c in cells
+        if c["engine"] == engine
+        and f"{c['num_servers']}x{c['num_dispatchers']}" == TARGET_SIZE
+    ]
+    return max((c["speedup"] for c in at_target), default=None)
+
+
 def run_grid(
     sizes: tuple[str, ...],
     policies: tuple[str, ...],
@@ -107,25 +160,28 @@ def run_grid(
     rounds: int,
     seed: int,
     repeats: int,
+    sized_sizes: tuple[str, ...] = (),
+    sized_policies: tuple[str, ...] = DEFAULT_SIZED_POLICIES,
+    mean_size: float = 3.0,
 ) -> dict:
-    """Time every (size, policy) cell and assemble the perf record."""
+    """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
-    for token in sizes:
-        n, m = _parse_size(token)
-        for policy in policies:
-            cell = time_cell(policy, n, m, rho, rounds, seed, repeats)
-            cells.append(cell)
-            print(
-                f"n={n:4d} m={m:3d} {policy:6s} "
-                f"ref={cell['reference_rounds_per_sec']:9.0f} r/s  "
-                f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
-                f"speedup={cell['speedup']:.2f}x"
-            )
-    headline = [
-        c
-        for c in cells
-        if f"{c['num_servers']}x{c['num_dispatchers']}" == TARGET_SIZE
-    ]
+    grid = [("unsized", sizes, policies), ("sized", sized_sizes, sized_policies)]
+    for engine, engine_sizes, engine_policies in grid:
+        for token in engine_sizes:
+            n, m = _parse_size(token)
+            for policy in engine_policies:
+                cell = time_cell(
+                    policy, n, m, rho, rounds, seed, repeats,
+                    engine=engine, mean_size=mean_size,
+                )
+                cells.append(cell)
+                print(
+                    f"{engine:7s} n={n:4d} m={m:3d} {policy:6s} "
+                    f"ref={cell['reference_rounds_per_sec']:9.0f} r/s  "
+                    f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
+                    f"speedup={cell['speedup']:.2f}x"
+                )
     return {
         "benchmark": "backend_speedup",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -137,6 +193,9 @@ def run_grid(
         "parameters": {
             "sizes": list(sizes),
             "policies": list(policies),
+            "sized_sizes": list(sized_sizes),
+            "sized_policies": list(sized_policies),
+            "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
             "seed": seed,
@@ -146,7 +205,9 @@ def run_grid(
         "headline": {
             "target_size": TARGET_SIZE,
             "target_speedup": TARGET_SPEEDUP,
-            "best_speedup": max((c["speedup"] for c in headline), default=None),
+            "best_speedup": _best_at_target(cells, "unsized"),
+            "sized_target_speedup": SIZED_TARGET_SPEEDUP,
+            "sized_best_speedup": _best_at_target(cells, "sized"),
         },
     }
 
@@ -155,6 +216,22 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", nargs="+", default=list(DEFAULT_SIZES), metavar="NxM")
     parser.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    parser.add_argument(
+        "--sized-sizes",
+        nargs="*",
+        default=list(DEFAULT_SIZED_SIZES),
+        metavar="NxM",
+        help="grid points for the sized-job kernel (empty list skips it)",
+    )
+    parser.add_argument(
+        "--sized-policies", nargs="+", default=list(DEFAULT_SIZED_POLICIES)
+    )
+    parser.add_argument(
+        "--mean-size",
+        type=float,
+        default=3.0,
+        help="geometric mean job size for the sized cells",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -163,8 +240,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"exit non-zero unless the {TARGET_SIZE} headline speedup "
-        f"reaches {TARGET_SPEEDUP}x",
+        help=f"exit non-zero unless the {TARGET_SIZE} headline speedups "
+        f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x (sized)",
     )
     args = parser.parse_args(argv)
 
@@ -175,36 +252,58 @@ def main(argv: list[str] | None = None) -> int:
         args.rounds,
         args.seed,
         args.repeats,
+        sized_sizes=tuple(args.sized_sizes),
+        sized_policies=tuple(args.sized_policies),
+        mean_size=args.mean_size,
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
 
-    best = record["headline"]["best_speedup"]
-    if best is not None:
-        print(f"headline ({TARGET_SIZE}): best speedup {best:.2f}x")
-    if args.check:
+    failures = 0
+    misconfigured = False
+    for label, best, target, grid_ran in (
+        ("unsized", record["headline"]["best_speedup"], TARGET_SPEEDUP, bool(args.sizes)),
+        (
+            "sized",
+            record["headline"]["sized_best_speedup"],
+            SIZED_TARGET_SPEEDUP,
+            bool(args.sized_sizes),
+        ),
+    ):
+        if best is not None:
+            print(f"headline ({label} {TARGET_SIZE}): best speedup {best:.2f}x")
+        if not args.check or not grid_ran:
+            continue
         if best is None:
-            print(f"--check requires a {TARGET_SIZE} cell in --sizes")
-            return 2
-        if best < TARGET_SPEEDUP:
-            print(f"FAIL: {best:.2f}x < {TARGET_SPEEDUP}x")
-            return 1
-        print(f"OK: {best:.2f}x >= {TARGET_SPEEDUP}x")
-    return 0
+            print(f"--check requires a {label} {TARGET_SIZE} cell")
+            misconfigured = True
+        elif best < target:
+            print(f"FAIL ({label}): {best:.2f}x < {target}x")
+            failures += 1
+        else:
+            print(f"OK ({label}): {best:.2f}x >= {target}x")
+    if misconfigured:
+        return 2
+    return 1 if failures else 0
 
 
 def test_backend_speedup_record(tmp_path):
-    """Smoke: one tiny grid point produces a well-formed perf record."""
-    record = run_grid(("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1)
+    """Smoke: one tiny grid point per engine produces a well-formed record."""
+    record = run_grid(
+        ("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1,
+        sized_sizes=("10x4",), sized_policies=("jsq",),
+    )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    (cell,) = loaded["cells"]
-    assert cell["reference_rounds_per_sec"] > 0
-    assert cell["fast_rounds_per_sec"] > 0
-    # jsq is deterministic: both backends simulate the identical run.
-    assert cell["reference_mean_response"] == cell["fast_mean_response"]
+    unsized, sized = loaded["cells"]
+    assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
+    for cell in (unsized, sized):
+        assert cell["reference_rounds_per_sec"] > 0
+        assert cell["fast_rounds_per_sec"] > 0
+        # jsq is deterministic: both backends simulate the identical run.
+        assert cell["reference_mean_response"] == cell["fast_mean_response"]
 
 
 if __name__ == "__main__":

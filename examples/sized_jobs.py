@@ -26,7 +26,7 @@ import numpy as np
 import repro
 
 
-def run(policy, sizes, system, rho, rounds, seed):
+def run(policy, sizes, system, rho, rounds, seed, backend="reference"):
     rates = system.rates()
     jobs_per_round = rho * rates.sum() / sizes.mean
     sim = repro.SizedSimulation(
@@ -39,6 +39,7 @@ def run(policy, sizes, system, rho, rounds, seed):
         sizes=sizes,
         rounds=rounds,
         seed=seed,
+        backend=backend,
     )
     return sim.run()
 
@@ -48,6 +49,13 @@ def main() -> None:
     parser.add_argument("--rounds", type=int, default=3000)
     parser.add_argument("--mean-size", type=float, default=4.0)
     parser.add_argument("--rho", type=float, default=0.95)
+    parser.add_argument(
+        "--backend",
+        default="fast",
+        choices=repro.available_sized_backends(),
+        help="sized engine round kernel (fast is bit-identical here: "
+        "all three contenders run through the dispatch fallback)",
+    )
     args = parser.parse_args()
 
     system = repro.SystemSpec(num_servers=100, num_dispatchers=10, profile="u1_10")
@@ -67,7 +75,10 @@ def main() -> None:
     }
     rows = []
     for label, policy in contenders.items():
-        result = run(policy, sizes, system, args.rho, args.rounds, seed=5)
+        result = run(
+            policy, sizes, system, args.rho, args.rounds, seed=5,
+            backend=args.backend,
+        )
         rows.append(
             [
                 label,

@@ -127,7 +127,7 @@ from .sim.backends import (
     make_backend,
     register_backend,
 )
-from .sim.batchstore import BatchQueueStore
+from .sim.batchstore import BatchQueueStore, SizedBatchQueueStore
 from .sim.engine import Simulation, SimulationConfig, SimulationResult, simulate
 from .sim.metrics import QueueLengthSeries, ResponseTimeHistogram
 from .sim.seeding import derive_seed, spawn_streams
@@ -140,6 +140,15 @@ from .sim.sized import (
     SizedServerQueue,
     SizedSimulation,
     SizedSimulationResult,
+)
+from .sim.sizedbackends import (
+    SizedEngineBackend,
+    SizedFastBackend,
+    SizedReferenceBackend,
+    available_sized_backends,
+    make_sized_backend,
+    register_sized_backend,
+    sized_backend_descriptions,
 )
 from .sim.service import (
     DeterministicService,
@@ -223,7 +232,15 @@ __all__ = [
     "make_backend",
     "available_backends",
     "backend_descriptions",
+    "SizedEngineBackend",
+    "SizedReferenceBackend",
+    "SizedFastBackend",
+    "register_sized_backend",
+    "make_sized_backend",
+    "available_sized_backends",
+    "sized_backend_descriptions",
     "BatchQueueStore",
+    "SizedBatchQueueStore",
     "ServerQueue",
     "ResponseTimeHistogram",
     "JobSizeDistribution",

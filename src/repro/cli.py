@@ -5,7 +5,8 @@ Installed as the ``repro`` console script (also ``python -m repro``).
 Subcommands
 -----------
 ``policies``    list the registered dispatching policies
-``backends``    list the registered engine backends (round kernels)
+``backends``    list the registered engine backends (round kernels),
+                both the unsized and the sized-engine registries
 ``experiment``  declarative grid: policies x systems x loads x reps x
                 workload, optionally on a process pool (``--workers``)
                 and/or the vectorized engine (``--backend fast``)
@@ -23,6 +24,7 @@ Examples
         --loads 0.7 0.9 --replications 3 --workers 8 --save grid.json
     repro experiment --policies scd sed --workload skew:3 --loads 0.9
     repro experiment --policies jsq rr wr --backend fast --rounds 100000
+    repro experiment --policies jsq sed --workload sized:geom:4 --backend fast
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
@@ -54,6 +56,11 @@ from repro.analysis.tables import format_series_table, format_table
 from repro.core.theory import strong_stability_bound
 from repro.policies.base import available_policies
 from repro.sim.backends import available_backends, backend_descriptions
+from repro.sim.sized import BimodalSize, DeterministicSize, GeometricSize
+from repro.sim.sizedbackends import (
+    available_sized_backends,
+    sized_backend_descriptions,
+)
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = ["main", "build_parser"]
@@ -101,10 +108,17 @@ def cmd_policies(args: argparse.Namespace) -> int:
 
 
 def cmd_backends(args: argparse.Namespace) -> int:
-    descriptions = backend_descriptions()
-    width = max(len(name) for name in descriptions)
-    for name, description in descriptions.items():
-        print(f"{name:<{width}}  {description}")
+    registries = (
+        ("engine backends (unsized jobs)", backend_descriptions()),
+        ("sized engine backends (unit-denominated queues)", sized_backend_descriptions()),
+    )
+    width = max(len(name) for _, d in registries for name in d)
+    for index, (title, descriptions) in enumerate(registries):
+        if index:
+            print()
+        print(f"{title}:")
+        for name, description in descriptions.items():
+            print(f"  {name:<{width}}  {description}")
     return 0
 
 
@@ -120,8 +134,31 @@ def _parse_system_token(token: str, profile: str, rate_seed: int) -> SystemSpec:
         )
 
 
+def _parse_job_sizes(params: str):
+    """``[geom[:MEAN]]`` | ``det:SIZE`` | ``bimodal:SMALL:LARGE[:PROB]``."""
+    parts = params.split(":") if params else []
+    family = (parts[0] if parts else "geom").lower()
+    try:
+        if family == "geom":
+            mean = float(parts[1]) if len(parts) > 1 else 2.0
+            return GeometricSize(mean), f"sized-geom{mean:g}"
+        if family == "det":
+            size = int(parts[1]) if len(parts) > 1 else 2
+            return DeterministicSize(size), f"sized-det{size}"
+        if family == "bimodal":
+            small = int(parts[1]) if len(parts) > 1 else 1
+            large = int(parts[2]) if len(parts) > 2 else 20
+            prob = float(parts[3]) if len(parts) > 3 else 0.05
+            return BimodalSize(small, large, prob), f"sized-bimodal{small}-{large}-{prob:g}"
+    except (ValueError, IndexError) as error:
+        raise SystemExit(f"invalid sized workload parameters {params!r}: {error}")
+    raise SystemExit(
+        f"unknown job-size family {family!r}; expected geom, det or bimodal"
+    )
+
+
 def _parse_workload(token: str) -> WorkloadSpec:
-    """``paper`` | ``skew:F`` | ``bursty:F[:switch_prob]``."""
+    """``paper`` | ``skew:F`` | ``bursty:F[:P]`` | ``sized[:FAMILY[:PARAMS]]``."""
     kind, _, params = token.partition(":")
     kind = kind.lower()
     if kind == "paper":
@@ -133,8 +170,12 @@ def _parse_workload(token: str) -> WorkloadSpec:
         surge = float(parts[0]) if parts else 3.0
         switch = float(parts[1]) if len(parts) > 1 else 0.05
         return WorkloadSpec.bursty(surge, switch)
+    if kind == "sized":
+        distribution, name = _parse_job_sizes(params)
+        return WorkloadSpec.sized(distribution, name=name)
     raise SystemExit(
-        f"unknown workload {token!r}; expected paper, skew:F or bursty:F[:P]"
+        f"unknown workload {token!r}; expected paper, skew:F, bursty:F[:P] "
+        f"or sized[:geom:MEAN|det:SIZE|bimodal:SMALL:LARGE[:PROB]]"
     )
 
 
@@ -330,7 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workload",
         default="paper",
-        help="paper (default), skew:FACTOR, or bursty:SURGE[:SWITCH_PROB]",
+        help="paper (default), skew:FACTOR, bursty:SURGE[:SWITCH_PROB], or "
+        "sized[:geom:MEAN|det:SIZE|bimodal:SMALL:LARGE[:PROB]] (jobs carry "
+        "work-unit sizes and cells run the sized engine)",
     )
     p.add_argument(
         "--workers",
@@ -342,10 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="reference",
-        choices=available_backends(),
+        choices=sorted(set(available_backends()) | set(available_sized_backends())),
         help="engine round kernel: 'reference' (bit-exact default) or "
         "'fast' (vectorized; bit-identical for deterministic policies, "
-        "statistically equivalent for stochastic ones); see "
+        "statistically equivalent for stochastic ones); sized workloads "
+        "resolve the name in the sized-engine registry; see "
         "`repro backends`",
     )
     p.add_argument(

@@ -57,10 +57,11 @@ def simulate_cell(
     The shared low-level path of both executors and the legacy
     ``run_simulation`` wrapper: builds the workload's processes, binds a
     fresh policy, and runs the appropriate engine (sized when the
-    workload carries a job-size distribution).  ``backend`` selects the
-    round kernel (:mod:`repro.sim.backends`) for unsized workloads; the
-    sized-job engine has no backend registry yet, so anything but the
-    default fails loudly there.
+    workload carries a job-size distribution).  ``backend`` names the
+    round kernel in the engine's own registry --
+    :mod:`repro.sim.backends` for unsized workloads,
+    :mod:`repro.sim.sizedbackends` for sized ones; unknown names fail
+    with that registry's error message.
     """
     rates = system.rates()
     policy_obj = policy if isinstance(policy, Policy) else PolicySpec.of(policy).build()
@@ -69,11 +70,6 @@ def simulate_cell(
     if workload.job_sizes is not None:
         if warmup:
             raise ValueError("the sized-job engine does not support warmup")
-        if backend != "reference":
-            raise ValueError(
-                f"the sized-job engine does not support engine backends "
-                f"(requested {backend!r}); use the default 'reference'"
-            )
         return SizedSimulation(
             rates=rates,
             policy=policy_obj,
@@ -82,6 +78,7 @@ def simulate_cell(
             sizes=workload.job_sizes,
             rounds=rounds,
             seed=seed,
+            backend=backend,
         ).run()
     return Simulation(
         rates=rates,

@@ -135,9 +135,10 @@ class Experiment:
     rounds: int = 10_000
     warmup: int = 0
     base_seed: int = 0
-    #: Engine-backend registry name every cell runs on (see
-    #: :mod:`repro.sim.backends`); ``"reference"`` is the bit-exact
-    #: default, ``"fast"`` the vectorized kernel.
+    #: Engine-backend registry name every cell runs on.  Unsized cells
+    #: resolve it in :mod:`repro.sim.backends`, sized cells in
+    #: :mod:`repro.sim.sizedbackends`; ``"reference"`` is the bit-exact
+    #: default, ``"fast"`` the vectorized kernel in both registries.
     backend: str = "reference"
 
     def __post_init__(self) -> None:
@@ -163,21 +164,18 @@ class Experiment:
             raise ValueError("rounds must be >= 1")
         if not 0 <= self.warmup < self.rounds:
             raise ValueError("warmup must be in [0, rounds)")
-        from repro.sim.backends import available_backends
+        # Validate the backend against exactly the registries the grid
+        # will use -- unsized cells resolve through the base engine
+        # registry, sized cells through the sized engine registry -- so
+        # unknown names fail at construction with the registry's own
+        # error message instead of mid-grid on a worker.
+        from repro.sim.backends import make_backend
+        from repro.sim.sizedbackends import make_sized_backend
 
-        if self.backend not in available_backends():
-            raise ValueError(
-                f"unknown engine backend {self.backend!r}; "
-                f"known backends: {', '.join(available_backends())}"
-            )
-        if self.backend != "reference":
-            sized = [w.name for w in workloads if w.job_sizes is not None]
-            if sized:
-                raise ValueError(
-                    f"sized workloads {sized} run on the sized-job engine, "
-                    f"which does not support engine backends; use the "
-                    f"default backend='reference'"
-                )
+        if any(w.job_sizes is None for w in workloads):
+            make_backend(self.backend)
+        if any(w.job_sizes is not None for w in workloads):
+            make_sized_backend(self.backend)
 
     # -- grid enumeration --------------------------------------------------
 

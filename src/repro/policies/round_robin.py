@@ -101,3 +101,32 @@ class WeightedRoundRobinPolicy(Policy):
             credits[best] -= total
             counts[best] += 1
         return counts
+
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """All dispatchers' credit loops advanced in lock-step (bit-identical).
+
+        Dispatchers are independent (each owns a credits row and no RNG
+        is involved), so the per-dispatcher job loops can be transposed:
+        step ``j`` updates every dispatcher still holding a ``j``-th job
+        at once.  Each step is the same float arithmetic and the same
+        first-of-the-maxima ``argmax`` as the scalar loop, so the counts
+        *and* the carried credit state match the fallback exactly; the
+        round costs O(max batch) vectorized steps instead of O(total
+        jobs) scalar ones.
+        """
+        n = self.ctx.num_servers
+        m = self.ctx.num_dispatchers
+        batch = np.asarray(batch, dtype=np.int64)
+        counts = np.zeros((m, n), dtype=np.int64)
+        credits = self._credits
+        rates = self.rates
+        total = self._total_weight
+        dispatchers = np.arange(m)
+        for j in range(int(batch.max()) if batch.size else 0):
+            active = dispatchers[batch > j]
+            block = credits[active] + rates
+            best = np.argmax(block, axis=1)
+            block[np.arange(active.size), best] -= total
+            credits[active] = block
+            counts[active, best] += 1
+        return counts

@@ -16,7 +16,7 @@ from .backends import (
     make_backend,
     register_backend,
 )
-from .batchstore import BatchQueueStore
+from .batchstore import BatchQueueStore, SizedBatchQueueStore
 from .engine import Simulation, SimulationConfig, SimulationResult, simulate
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
 from .seeding import SimulationStreams, derive_seed, spawn_streams
@@ -30,6 +30,15 @@ from .sized import (
     SizedServerQueue,
     SizedSimulation,
     SizedSimulationResult,
+)
+from .sizedbackends import (
+    SizedEngineBackend,
+    SizedFastBackend,
+    SizedReferenceBackend,
+    available_sized_backends,
+    make_sized_backend,
+    register_sized_backend,
+    sized_backend_descriptions,
 )
 
 __all__ = [
@@ -45,6 +54,14 @@ __all__ = [
     "available_backends",
     "backend_descriptions",
     "BatchQueueStore",
+    "SizedBatchQueueStore",
+    "SizedEngineBackend",
+    "SizedReferenceBackend",
+    "SizedFastBackend",
+    "register_sized_backend",
+    "make_sized_backend",
+    "available_sized_backends",
+    "sized_backend_descriptions",
     "ServerQueue",
     "ResponseTimeHistogram",
     "QueueLengthSeries",

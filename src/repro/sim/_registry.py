@@ -1,0 +1,75 @@
+"""Shared machinery for the engine-backend registries.
+
+:mod:`repro.sim.backends` (unsized round kernels) and
+:mod:`repro.sim.sizedbackends` (sized round kernels) expose the same
+name -> backend-factory surface: a class decorator to register, a
+``make`` resolver accepting names or instances, and sorted
+name/description listings for the CLI.  Keeping that behavior in one
+place means the two registries cannot drift (case handling, duplicate
+detection, error shapes) and a third registry costs one instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["BackendRegistry"]
+
+
+class BackendRegistry(Generic[T]):
+    """A name -> factory registry for one family of engine backends.
+
+    Parameters
+    ----------
+    kind:
+        Human label used in error messages, e.g. ``"engine backend"``
+        or ``"sized engine backend"``.
+    plural:
+        Label for the known-names listing in errors, e.g. ``"backends"``.
+    base:
+        The family's abstract base class; ``make`` passes instances of
+        it through untouched.
+    """
+
+    def __init__(self, kind: str, plural: str, base: type) -> None:
+        self._kind = kind
+        self._plural = plural
+        self._base = base
+        self._factories: dict[str, Callable[[], T]] = {}
+
+    def register(self, name: str) -> Callable[[type], type]:
+        """Class decorator registering a backend factory under ``name``."""
+
+        def decorator(cls: type) -> type:
+            key = name.lower()
+            if key in self._factories:
+                raise ValueError(f"{self._kind} {name!r} registered twice")
+            self._factories[key] = cls
+            return cls
+
+        return decorator
+
+    def make(self, spec: "str | T") -> T:
+        """Instantiate a backend from its registry name (or pass one through)."""
+        if isinstance(spec, self._base):
+            return spec
+        key = spec.lower()
+        if key not in self._factories:
+            known = ", ".join(sorted(self._factories))
+            raise ValueError(
+                f"unknown {self._kind} {spec!r}; known {self._plural}: {known}"
+            )
+        return self._factories[key]()
+
+    def available(self) -> list[str]:
+        """Names accepted by :meth:`make`, sorted."""
+        return sorted(self._factories)
+
+    def descriptions(self) -> dict[str, str]:
+        """Name -> one-line ``description`` attribute, for CLI listings."""
+        return {
+            name: self._factories[name].description
+            for name in sorted(self._factories)
+        }

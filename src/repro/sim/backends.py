@@ -30,10 +30,11 @@ as additional registrations without touching the engine.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ._registry import BackendRegistry
 from .batchstore import BatchQueueStore
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
 from .server import ServerQueue
@@ -68,43 +69,18 @@ class EngineBackend(ABC):
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
-_REGISTRY: dict[str, Callable[[], EngineBackend]] = {}
+_REGISTRY: BackendRegistry[EngineBackend] = BackendRegistry(
+    "engine backend", "backends", EngineBackend
+)
 
-
-def register_backend(
-    name: str,
-) -> Callable[[type[EngineBackend]], type[EngineBackend]]:
-    """Class decorator registering an engine backend under ``name``."""
-
-    def decorator(cls: type[EngineBackend]) -> type[EngineBackend]:
-        key = name.lower()
-        if key in _REGISTRY:
-            raise ValueError(f"backend {name!r} registered twice")
-        _REGISTRY[key] = cls
-        return cls
-
-    return decorator
-
-
-def make_backend(spec: "str | EngineBackend") -> EngineBackend:
-    """Instantiate a backend from its registry name (or pass one through)."""
-    if isinstance(spec, EngineBackend):
-        return spec
-    key = spec.lower()
-    if key not in _REGISTRY:
-        known = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown engine backend {spec!r}; known backends: {known}")
-    return _REGISTRY[key]()
-
-
-def available_backends() -> list[str]:
-    """Names accepted by :func:`make_backend`, sorted."""
-    return sorted(_REGISTRY)
-
-
-def backend_descriptions() -> dict[str, str]:
-    """Name -> one-line description, for CLI listings."""
-    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+#: Class decorator registering an engine backend under a name.
+register_backend = _REGISTRY.register
+#: Instantiate a backend from its registry name (or pass one through).
+make_backend = _REGISTRY.make
+#: Names accepted by :func:`make_backend`, sorted.
+available_backends = _REGISTRY.available
+#: Name -> one-line description, for CLI listings.
+backend_descriptions = _REGISTRY.descriptions
 
 
 def _make_result(sim: "Simulation", **kwargs) -> "SimulationResult":

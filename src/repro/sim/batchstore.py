@@ -30,6 +30,14 @@ reference records -- with none of the per-round small-array overhead.
 The result is bit-identical to draining the reference queues: both
 produce the same multiset of (response time, count) records and the
 same leftover batches.
+
+:class:`SizedBatchQueueStore` is the unit-denominated analog for the
+sized-job engine (:mod:`repro.sim.sized`): the FIFO position axis counts
+*work units* instead of jobs, each pending entry is one job ``(arrival
+round, remaining units)``, and a job's response time is attributed to
+the round its *last* unit drains -- one ``searchsorted`` of the jobs'
+cumulative unit boundaries into the block's merged departure boundaries
+recovers every completion at once.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ import numpy as np
 
 from .metrics import ResponseTimeHistogram
 
-__all__ = ["BatchQueueStore"]
+__all__ = ["BatchQueueStore", "SizedBatchQueueStore"]
 
 
 class BatchQueueStore:
@@ -222,4 +230,198 @@ class BatchQueueStore:
             f"<BatchQueueStore servers={self._n} "
             f"batches={int(self._lengths.sum())} "
             f"jobs={int(self._jobs.sum())}>"
+        )
+
+
+class SizedBatchQueueStore:
+    """Pending sized jobs for ``n`` servers, on a work-unit position axis.
+
+    The sized engine's analog of :class:`BatchQueueStore`: each pending
+    entry is one job ``(arrival_round, remaining_units)``, kept
+    server-major in FIFO order, and the per-server position axis is
+    denominated in work units.  :meth:`process_block` advances the store
+    over a block of rounds given the block's admitted jobs and the
+    ``(rounds, servers)`` matrix of per-round unit completions, recording
+    each job's response time at the round its *last* unit drains --
+    exactly the semantics of
+    :meth:`repro.sim.sized.SizedServerQueue.complete`, including partial
+    service of the head job across block boundaries.
+    """
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self._n = int(num_servers)
+        self._rounds = np.empty(0, dtype=np.int64)
+        self._remaining = np.empty(0, dtype=np.int64)
+        self._lengths = np.zeros(self._n, dtype=np.int64)
+        self._units = np.zeros(self._n, dtype=np.int64)
+
+    # -- state inspection (tests, debugging) -------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return self._n
+
+    def job_counts(self) -> np.ndarray:
+        """Number of pending jobs per server."""
+        return self._lengths.copy()
+
+    def queued_units(self) -> np.ndarray:
+        """Total queued work units per server (head jobs may be partial)."""
+        return self._units.copy()
+
+    # -- block resolution --------------------------------------------------
+
+    def process_block(
+        self,
+        start_round: int,
+        job_servers: np.ndarray,
+        job_rounds: np.ndarray,
+        job_sizes: np.ndarray,
+        done_block: np.ndarray,
+        histogram: ResponseTimeHistogram | None,
+        warmup: int = 0,
+    ) -> None:
+        """Advance the store over rounds ``start_round .. start_round+L-1``.
+
+        Parameters
+        ----------
+        job_servers, job_rounds, job_sizes:
+            The block's admitted jobs as parallel flat arrays, sorted
+            server-major and, within a server, in admission order
+            (arrival round ascending, then dispatcher order -- the order
+            :meth:`repro.sim.sized.SizedServerQueue.admit` sees them).
+        done_block:
+            ``(L, n)`` work units completed per round per server.  The
+            engine guarantees per-round feasibility ``done <= queued``;
+            block totals are re-checked here as a corruption guard.
+        histogram:
+            Destination for each completed job's response time
+            ``last_unit_round - arrival_round + 1``; ``None`` discards.
+        warmup:
+            Jobs finishing in rounds ``< warmup`` are not recorded
+            (unit accounting still includes them).
+        """
+        n = self._n
+        job_servers = np.asarray(job_servers, dtype=np.int64)
+        job_rounds = np.asarray(job_rounds, dtype=np.int64)
+        job_sizes = np.asarray(job_sizes, dtype=np.int64)
+        if not (job_servers.shape == job_rounds.shape == job_sizes.shape):
+            raise ValueError("job arrays must be parallel 1-D arrays")
+        if job_sizes.size and int(job_sizes.min()) < 1:
+            raise ValueError("job sizes must be >= 1")
+        if job_servers.size and np.any(np.diff(job_servers) < 0):
+            raise ValueError("jobs must be sorted server-major")
+        new_units = np.zeros(n, dtype=np.int64)
+        if job_sizes.size:
+            np.add.at(new_units, job_servers, job_sizes)
+        server_units = self._units + new_units
+        dep_totals = done_block.sum(axis=0)
+        if np.any(dep_totals > server_units):
+            raise RuntimeError(
+                "sized batch store drained past its contents; "
+                "engine accounting is corrupt"
+            )
+        if not server_units.any():
+            return
+
+        # Job sequence per server: carried jobs first (the head may be
+        # partially served), then the block's admissions (server-major).
+        new_lengths = np.bincount(job_servers, minlength=n)
+        old_lengths = self._lengths
+        total_lengths = old_lengths + new_lengths
+        num_jobs = int(total_lengths.sum())
+        rounds_merged = np.empty(num_jobs, dtype=np.int64)
+        units_merged = np.empty(num_jobs, dtype=np.int64)
+        dest_base = np.cumsum(total_lengths) - total_lengths
+        old_total = self._rounds.size
+        if old_total:
+            old_base = np.cumsum(old_lengths) - old_lengths
+            old_dest = (
+                np.repeat(dest_base, old_lengths)
+                + np.arange(old_total)
+                - np.repeat(old_base, old_lengths)
+            )
+            rounds_merged[old_dest] = self._rounds
+            units_merged[old_dest] = self._remaining
+        if job_sizes.size:
+            new_base = np.cumsum(new_lengths) - new_lengths
+            new_dest = (
+                np.repeat(dest_base + old_lengths, new_lengths)
+                + np.arange(job_sizes.size)
+                - np.repeat(new_base, new_lengths)
+            )
+            rounds_merged[new_dest] = job_rounds
+            units_merged[new_dest] = job_sizes
+        job_server = np.repeat(np.arange(n), total_lengths)
+
+        # Global unit-position axis: server s occupies the half-open
+        # interval (server_base[s], server_base[s] + server_units[s]];
+        # job j ends at the cumulative unit count through j.
+        server_base = np.cumsum(server_units) - server_units
+        job_ends = np.cumsum(units_merged)
+
+        # Departure boundaries on the same axis, plus one sentinel per
+        # server with units left over, so every job's last unit maps to
+        # either a departure round or "still queued".
+        done_by_server = done_block.T
+        dep_srv, dep_col = np.nonzero(done_by_server)
+        dep_counts = done_by_server[dep_srv, dep_col]
+        dep_base = np.cumsum(dep_totals) - dep_totals
+        dep_ends = (
+            server_base[dep_srv] + np.cumsum(dep_counts) - dep_base[dep_srv]
+        )
+        leftover_units = server_units - dep_totals
+        sentinel_srv = np.flatnonzero(leftover_units)
+        sentinel_ends = server_base[sentinel_srv] + server_units[sentinel_srv]
+        all_dep_ends = np.concatenate([dep_ends, sentinel_ends])
+        all_dep_rounds = np.concatenate(
+            [
+                start_round + dep_col,
+                np.zeros(sentinel_srv.size, dtype=np.int64),
+            ]
+        )
+        still_queued = np.concatenate(
+            [
+                np.zeros(dep_ends.size, dtype=bool),
+                np.ones(sentinel_srv.size, dtype=bool),
+            ]
+        )
+        order = np.argsort(all_dep_ends, kind="stable")
+        all_dep_ends = all_dep_ends[order]
+        all_dep_rounds = all_dep_rounds[order]
+        still_queued = still_queued[order]
+
+        # A job finishes in the departure interval containing its last
+        # unit: the first boundary >= its cumulative end position.
+        interval = np.searchsorted(all_dep_ends, job_ends, side="left")
+        completed = ~still_queued[interval]
+
+        if histogram is not None:
+            dep_round = all_dep_rounds[interval]
+            record = completed & (dep_round >= warmup)
+            histogram.record_many(
+                dep_round[record] - rounds_merged[record] + 1,
+                np.ones(int(record.sum()), dtype=np.int64),
+            )
+
+        # Carry: jobs whose last unit outlives the block's completions;
+        # the head job of each leftover server may be partially served.
+        carried = ~completed
+        drained_end = server_base + dep_totals
+        job_starts = job_ends - units_merged
+        carried_srv = job_server[carried]
+        self._rounds = rounds_merged[carried]
+        self._remaining = job_ends[carried] - np.maximum(
+            job_starts[carried], drained_end[carried_srv]
+        )
+        self._lengths = np.bincount(carried_srv, minlength=n)
+        self._units = leftover_units
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SizedBatchQueueStore servers={self._n} "
+            f"jobs={int(self._lengths.sum())} "
+            f"units={int(self._units.sum())}>"
         )

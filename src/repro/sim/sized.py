@@ -12,6 +12,11 @@ Policies plug in unchanged: they see the unit-denominated queue vector
 return per-server *job* counts; the engine draws each job's size from a
 :class:`JobSizeDistribution` whose stream lives with the arrival streams
 (sizes are workload, not policy, randomness).
+
+The round loop itself is pluggable: ``backend`` names a sized round
+kernel from the :mod:`repro.sim.sizedbackends` registry (``"reference"``
+-- the bit-exact per-object loop, the default -- or ``"fast"`` -- the
+vectorized unit-denominated kernel).
 """
 
 from __future__ import annotations
@@ -207,17 +212,21 @@ class SizedSimulation:
         sizes: JobSizeDistribution,
         rounds: int = 10_000,
         seed: int = 0,
+        backend: str = "reference",
     ) -> None:
         self.rates = np.asarray(rates, dtype=np.float64)
         if service.num_servers != self.rates.size:
             raise ValueError("service process size mismatch")
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
+        if not backend:
+            raise ValueError("backend must be a non-empty registry name")
         self.policy = policy
         self.arrivals = arrivals
         self.service = service
         self.sizes = sizes
         self.rounds = int(rounds)
+        self.backend = backend
         self._streams = spawn_streams(seed)
         policy.bind(
             SystemContext(
@@ -230,69 +239,7 @@ class SizedSimulation:
         service.reset()
 
     def run(self) -> SizedSimulationResult:
-        """Execute all rounds and return collected metrics."""
-        n = self.rates.size
-        m = self.arrivals.num_dispatchers
-        arrival_rng = self._streams.arrivals
-        departure_rng = self._streams.departures
-        servers = [SizedServerQueue() for _ in range(n)]
-        unit_queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = QueueLengthSeries(rounds_hint=self.rounds)
-        total_jobs = 0
-        units_in = 0
-        units_out = 0
+        """Execute all rounds via the configured backend (see ``sizedbackends``)."""
+        from .sizedbackends import make_sized_backend
 
-        for t in range(self.rounds):
-            batch = self.arrivals.sample(arrival_rng, t)
-            round_jobs = int(batch.sum())
-            total_jobs += round_jobs
-
-            self.policy.begin_round(t, unit_queues)
-            if round_jobs:
-                self.policy.observe_total_arrivals(round_jobs)
-                # All dispatchers decide against the same snapshot; queue
-                # updates are deferred until every decision is made (the
-                # model's independence requirement -- as in the base
-                # engine, where `queues += received` happens after the
-                # dispatcher loop).
-                received_units = np.zeros(n, dtype=np.int64)
-                for d in range(m):
-                    k = int(batch[d])
-                    if k == 0:
-                        continue
-                    # Sizes are workload randomness: drawn for the whole
-                    # batch *before* placement from the arrival stream, so
-                    # the realized sizes (and the stream position) are
-                    # identical whatever the policy decides.
-                    job_sizes = self.sizes.sample(arrival_rng, k)
-                    counts = self.policy.dispatch(d, k)
-                    start = 0
-                    for s in np.flatnonzero(counts):
-                        stop = start + int(counts[s])
-                        chunk = job_sizes[start:stop]
-                        servers[s].admit(t, chunk)
-                        received_units[s] += int(chunk.sum())
-                        start = stop
-                unit_queues += received_units
-                units_in += int(received_units.sum())
-
-            capacities = self.service.sample(departure_rng, t)
-            busy = np.flatnonzero((unit_queues > 0) & (capacities > 0))
-            for s in busy:
-                done = servers[s].complete(int(capacities[s]), t, histogram)
-                unit_queues[s] -= done
-                units_out += done
-
-            self.policy.end_round(t, unit_queues)
-            series.record(int(unit_queues.sum()))
-
-        return SizedSimulationResult(
-            policy_name=self.policy.name,
-            histogram=histogram,
-            queue_series=series,
-            total_jobs=total_jobs,
-            total_units_arrived=units_in,
-            total_units_departed=units_out,
-            final_units_queued=int(unit_queues.sum()),
-        )
+        return make_sized_backend(self.backend).run(self)

@@ -142,20 +142,31 @@ class TestRegistry:
             with pytest.raises(ValueError, match="unknown engine backend"):
                 wrapper(ExperimentConfig(rounds=150, backend="bogus"))
 
-    def test_experiment_rejects_sized_workload_on_fast_backend(self):
-        """Fail at construction, not mid-grid on the pool."""
+    def test_experiment_validates_backend_per_registry(self):
+        """Sized cells resolve the backend in the sized registry: known
+        names (fast included) construct, unknown names fail at
+        construction with the sized registry's own error message."""
         from repro.experiments import Experiment, WorkloadSpec
         from repro.sim.sized import GeometricSize
         from repro.workloads.scenarios import SystemSpec
 
-        with pytest.raises(ValueError, match="sized workloads"):
+        sized = dict(
+            policies=["jsq"],
+            systems=SystemSpec(4, 1),
+            loads=[0.5],
+            rounds=50,
+            workloads=(WorkloadSpec.sized(GeometricSize(2.0)),),
+        )
+        assert Experiment(**sized, backend="fast").backend == "fast"
+        with pytest.raises(ValueError, match="unknown sized engine backend"):
+            Experiment(**sized, backend="warp-drive")
+        with pytest.raises(ValueError, match="unknown engine backend"):
             Experiment(
                 policies=["jsq"],
                 systems=SystemSpec(4, 1),
                 loads=[0.5],
                 rounds=50,
-                workloads=(WorkloadSpec.sized(GeometricSize(2.0)),),
-                backend="fast",
+                backend="warp-drive",
             )
 
 

@@ -31,6 +31,17 @@ class TestPolicies:
         assert "scd" in names and "jsq" in names and "hlsq" in names
 
 
+class TestBackends:
+    def test_lists_both_registries(self, capsys):
+        code, out = run_cli(capsys, "backends")
+        assert code == 0
+        assert "engine backends (unsized jobs):" in out
+        assert "sized engine backends (unit-denominated queues):" in out
+        # Both registries carry reference and fast.
+        assert out.count("reference") == 2
+        assert out.count("fast") >= 2
+
+
 class TestExperiment:
     def test_grid_table_and_best(self, capsys):
         code, out = run_cli(
@@ -63,6 +74,38 @@ class TestExperiment:
         )
         assert code == 0
         assert "workload: skew3" in out
+
+    def test_sized_workload_on_fast_backend(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "jsq", "--systems", "10x2",
+            "--loads", "0.7", "--rounds", "120", "--workload", "sized:geom:3",
+            "--backend", "fast",
+        )
+        assert code == 0
+        assert "workload: sized-geom3" in out
+        assert "backend: fast" in out
+
+    def test_sized_workload_tokens(self, capsys):
+        for token, name in [
+            ("sized", "sized-geom2"),
+            ("sized:det:4", "sized-det4"),
+            ("sized:bimodal:1:10:0.1", "sized-bimodal1-10-0.1"),
+        ]:
+            code, out = run_cli(
+                capsys,
+                "experiment", "--policies", "jsq", "--systems", "8x2",
+                "--loads", "0.6", "--rounds", "60", "--workload", token,
+            )
+            assert code == 0
+            assert f"workload: {name}" in out
+
+    def test_bad_sized_workload_token(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "experiment", "--systems", "10x2",
+                "--workload", "sized:zipf:2",
+            ])
 
     def test_bad_system_token(self, capsys):
         with pytest.raises(SystemExit):
