@@ -17,7 +17,9 @@ The default grid includes both acceptance configurations at 100 servers
 / 50 dispatchers and 10^4 rounds: the unsized kernel must clear a 3x
 rounds/sec speedup and the sized kernel a 2x speedup (checked by
 ``--check``; informational otherwise), plus a larger 200x100 point for
-the scaling trajectory.
+the scaling trajectory.  A probe-overhead cell times the fast kernel
+with the default probe set against every built-in probe attached
+(``--probe-sizes``); ``--check`` also bars that overhead at 15%.
 
 Under ``pytest benchmarks`` a single smoke cell per engine runs and
 validates the record's shape without asserting timings (CI boxes are
@@ -43,11 +45,18 @@ DEFAULT_SIZES = ("20x10", "50x20", "100x50", "200x100")
 DEFAULT_POLICIES = ("jsq", "rr", "wr")
 DEFAULT_SIZED_SIZES = ("20x10", "100x50")
 DEFAULT_SIZED_POLICIES = ("jsq", "rr", "wrr")
+DEFAULT_PROBE_SIZES = ("100x50",)
+#: Every built-in probe beyond the default collectors (the worst-case
+#: observability load for the overhead cell).
+ALL_EXTRA_PROBES = ("server_stats", "dispatcher_stats", "windowed_mean", "herding")
 #: Acceptance bars: fast/reference rounds-per-second at the 100x50 grid
 #: point, per engine.
 TARGET_SPEEDUP = 3.0
 SIZED_TARGET_SPEEDUP = 2.0
 TARGET_SIZE = "100x50"
+#: Acceptance bar: running ALL built-in probes on the fast kernel may
+#: cost at most this fraction over the default probe set.
+PROBE_OVERHEAD_TARGET = 0.15
 
 
 def _parse_size(token: str) -> tuple[int, int]:
@@ -56,7 +65,14 @@ def _parse_size(token: str) -> tuple[int, int]:
 
 
 def _build_sim(
-    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, backend: str
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    backend: str,
+    probes: tuple = (),
 ) -> repro.Simulation:
     system = repro.SystemSpec(num_servers=n, num_dispatchers=m)
     rates = system.rates()
@@ -65,7 +81,9 @@ def _build_sim(
         policy=repro.make_policy(policy),
         arrivals=repro.PoissonArrivals(system.lambdas(rho)),
         service=repro.GeometricService(rates),
-        config=repro.SimulationConfig(rounds=rounds, seed=seed, backend=backend),
+        config=repro.SimulationConfig(
+            rounds=rounds, seed=seed, backend=backend, probes=probes
+        ),
     )
 
 
@@ -143,6 +161,41 @@ def time_cell(
     return cell
 
 
+def time_probe_overhead(
+    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
+) -> dict:
+    """Fast-kernel cost of the full built-in probe set vs the default.
+
+    The probe API's acceptance bar: observability must not tax the hot
+    path.  Times the same fast-backend simulation with the default
+    collectors only and with every built-in probe attached, and reports
+    the relative overhead.
+    """
+    cell: dict = {
+        "engine": "probe_overhead",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "probes": list(ALL_EXTRA_PROBES),
+    }
+    for label, probes in (("default", ()), ("all_probes", ALL_EXTRA_PROBES)):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(policy, n, m, rho, rounds, seed, "fast", probes)
+            start = time.perf_counter()
+            sim.run()
+            best = min(best, time.perf_counter() - start)
+        cell[f"{label}_seconds"] = best
+        cell[f"{label}_rounds_per_sec"] = rounds / best
+    cell["overhead_fraction"] = (
+        cell["all_probes_seconds"] / cell["default_seconds"] - 1.0
+    )
+    return cell
+
+
 def _best_at_target(cells: list[dict], engine: str) -> float | None:
     at_target = [
         c
@@ -163,6 +216,7 @@ def run_grid(
     sized_sizes: tuple[str, ...] = (),
     sized_policies: tuple[str, ...] = DEFAULT_SIZED_POLICIES,
     mean_size: float = 3.0,
+    probe_sizes: tuple[str, ...] = (),
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -182,6 +236,18 @@ def run_grid(
                     f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
                     f"speedup={cell['speedup']:.2f}x"
                 )
+    probe_overheads = []
+    for token in probe_sizes:
+        n, m = _parse_size(token)
+        cell = time_probe_overhead("jsq", n, m, rho, rounds, seed, repeats)
+        cells.append(cell)
+        probe_overheads.append(cell["overhead_fraction"])
+        print(
+            f"probes  n={n:4d} m={m:3d} jsq    "
+            f"default={cell['default_rounds_per_sec']:9.0f} r/s  "
+            f"all={cell['all_probes_rounds_per_sec']:9.0f} r/s  "
+            f"overhead={100 * cell['overhead_fraction']:+.1f}%"
+        )
     return {
         "benchmark": "backend_speedup",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -195,6 +261,7 @@ def run_grid(
             "policies": list(policies),
             "sized_sizes": list(sized_sizes),
             "sized_policies": list(sized_policies),
+            "probe_sizes": list(probe_sizes),
             "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
@@ -208,6 +275,10 @@ def run_grid(
             "best_speedup": _best_at_target(cells, "unsized"),
             "sized_target_speedup": SIZED_TARGET_SPEEDUP,
             "sized_best_speedup": _best_at_target(cells, "sized"),
+            "probe_overhead_target": PROBE_OVERHEAD_TARGET,
+            "probe_overhead_fraction": (
+                max(probe_overheads) if probe_overheads else None
+            ),
         },
     }
 
@@ -232,6 +303,14 @@ def main(argv: list[str] | None = None) -> int:
         default=3.0,
         help="geometric mean job size for the sized cells",
     )
+    parser.add_argument(
+        "--probe-sizes",
+        nargs="*",
+        default=list(DEFAULT_PROBE_SIZES),
+        metavar="NxM",
+        help="grid points for the probe-overhead cell (default probe set "
+        "vs all built-in probes on the fast kernel; empty list skips it)",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -241,7 +320,9 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help=f"exit non-zero unless the {TARGET_SIZE} headline speedups "
-        f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x (sized)",
+        f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x "
+        f"(sized) and the all-probes overhead stays under "
+        f"{PROBE_OVERHEAD_TARGET:.0%}",
     )
     args = parser.parse_args(argv)
 
@@ -255,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         sized_sizes=tuple(args.sized_sizes),
         sized_policies=tuple(args.sized_policies),
         mean_size=args.mean_size,
+        probe_sizes=tuple(args.probe_sizes),
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -282,6 +364,21 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         else:
             print(f"OK ({label}): {best:.2f}x >= {target}x")
+    overhead = record["headline"]["probe_overhead_fraction"]
+    if overhead is not None:
+        print(f"headline (probes): worst overhead {100 * overhead:+.1f}%")
+        if args.check:
+            if overhead > PROBE_OVERHEAD_TARGET:
+                print(
+                    f"FAIL (probes): {100 * overhead:.1f}% > "
+                    f"{100 * PROBE_OVERHEAD_TARGET:.0f}%"
+                )
+                failures += 1
+            else:
+                print(
+                    f"OK (probes): {100 * overhead:.1f}% <= "
+                    f"{100 * PROBE_OVERHEAD_TARGET:.0f}%"
+                )
     if misconfigured:
         return 2
     return 1 if failures else 0
@@ -292,18 +389,24 @@ def test_backend_speedup_record(tmp_path):
     record = run_grid(
         ("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1,
         sized_sizes=("10x4",), sized_policies=("jsq",),
+        probe_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    unsized, sized = loaded["cells"]
+    unsized, sized, probes = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
         assert cell["reference_rounds_per_sec"] > 0
         assert cell["fast_rounds_per_sec"] > 0
         # jsq is deterministic: both backends simulate the identical run.
         assert cell["reference_mean_response"] == cell["fast_mean_response"]
+    assert probes["engine"] == "probe_overhead"
+    assert probes["probes"] == list(ALL_EXTRA_PROBES)
+    assert probes["default_rounds_per_sec"] > 0
+    assert probes["all_probes_rounds_per_sec"] > 0
+    assert loaded["headline"]["probe_overhead_fraction"] is not None
 
 
 if __name__ == "__main__":

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Tour of the pluggable probe API: declarative per-experiment metrics.
+
+One small grid, every built-in probe attached (``metrics=[...]`` -- no
+engine code touched), and the questions the default collectors cannot
+answer, answered per policy:
+
+* **server_stats** -- is the heterogeneity being used?  Mean utilization
+  and how often servers sit idle (the paper's Section 3.1 failure mode
+  is fast servers idling while slow queues grow).
+* **herding** -- the coordination-failure mechanism: the worst and the
+  average single-round pile-up on one server, plus placement imbalance.
+* **dispatcher_stats** -- sanity on the traffic split.
+* **windowed_mean** -- drift of the windowed mean response time between
+  the first and last window (an instability smell the whole-run mean
+  hides).
+
+The same probes run unchanged on the reference and the fast kernels and
+on the sized-job engine, and their summaries land in every record's
+metrics as ``<probe>.<key>`` columns.
+
+Run:
+    python examples/probes_tour.py [--rounds N] [--backend fast]
+"""
+
+import argparse
+
+import repro
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--rounds", type=int, default=3000)
+    parser.add_argument("--rho", type=float, default=0.9)
+    parser.add_argument("--backend", default="fast")
+    args = parser.parse_args()
+
+    system = repro.SystemSpec(num_servers=30, num_dispatchers=10)
+    window = max(1, args.rounds // 10)
+    experiment = repro.Experiment(
+        policies=["scd", "jsq", "sed", "wr", "rr"],
+        systems=system,
+        loads=args.rho,
+        rounds=args.rounds,
+        backend=args.backend,
+        metrics=[
+            "server_stats",
+            "dispatcher_stats",
+            "herding",
+            repro.ProbeSpec.of("windowed_mean", window=window),
+        ],
+    )
+    print(
+        f"{experiment.size} cells on {system.name} at rho={args.rho} "
+        f"({args.rounds} rounds, backend={args.backend}), probes: "
+        + ", ".join(spec.label for spec in experiment.metrics)
+    )
+    result = experiment.run(keep_results=False)
+
+    windowed = f"windowed_mean[window={window}]"
+    rows = []
+    for record in sorted(result, key=lambda r: r.metrics["mean"]):
+        metrics = record.metrics
+        rows.append(
+            [
+                record.policy,
+                metrics["mean"],
+                metrics["server_stats.utilization_mean"],
+                metrics["server_stats.idle_fraction"],
+                int(metrics["herding.max_spike"]),
+                metrics["herding.mean_spike"],
+                metrics["dispatcher_stats.imbalance"],
+                metrics[f"{windowed}.drift"],
+            ]
+        )
+    print(
+        repro.format_table(
+            [
+                "policy",
+                "mean resp",
+                "utilization",
+                "idle frac",
+                "worst spike",
+                "mean spike",
+                "disp imbal",
+                "mean drift",
+            ],
+            rows,
+            title="Per-policy utilization / herding (lowest mean response first)",
+        )
+    )
+    print(
+        "\nReading: coordinated policies (scd, wr) keep the worst per-round "
+        "pile-up near the balanced share; deterministic full-information "
+        "policies (jsq, sed) herd -- large spikes -- and oblivious rr "
+        "under-uses the fast servers (higher idle fraction at equal load)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -130,6 +130,25 @@ from .sim.backends import (
 from .sim.batchstore import BatchQueueStore, SizedBatchQueueStore
 from .sim.engine import Simulation, SimulationConfig, SimulationResult, simulate
 from .sim.metrics import QueueLengthSeries, ResponseTimeHistogram
+from .sim.probes import (
+    DEFAULT_PROBE_LABELS,
+    DispatcherStatsProbe,
+    HerdingSignalProbe,
+    Probe,
+    ProbeBlock,
+    ProbeContext,
+    ProbeSet,
+    ProbeSpec,
+    QueueSeriesProbe,
+    ResponseTimeProbe,
+    ServerStatsProbe,
+    WindowedMeanProbe,
+    available_probes,
+    make_probe,
+    probe_descriptions,
+    probe_from_state,
+    register_probe,
+)
 from .sim.seeding import derive_seed, spawn_streams
 from .sim.server import ServerQueue
 from .sim.sized import (
@@ -242,6 +261,24 @@ __all__ = [
     "BatchQueueStore",
     "SizedBatchQueueStore",
     "ServerQueue",
+    # observability probes
+    "Probe",
+    "ProbeSpec",
+    "ProbeSet",
+    "ProbeContext",
+    "ProbeBlock",
+    "ResponseTimeProbe",
+    "QueueSeriesProbe",
+    "ServerStatsProbe",
+    "DispatcherStatsProbe",
+    "WindowedMeanProbe",
+    "HerdingSignalProbe",
+    "register_probe",
+    "make_probe",
+    "available_probes",
+    "probe_descriptions",
+    "probe_from_state",
+    "DEFAULT_PROBE_LABELS",
     "ResponseTimeHistogram",
     "JobSizeDistribution",
     "DeterministicSize",

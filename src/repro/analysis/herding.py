@@ -59,6 +59,57 @@ class HerdingStats:
         deviation = np.sqrt(np.mean((received - fair_share) ** 2))
         self._imbalance_sum += deviation / total
 
+    def observe_many(self, received: np.ndarray, fair_shares: np.ndarray) -> None:
+        """Fold in a block of rounds at once (vectorized ``observe``).
+
+        Parameters
+        ----------
+        received:
+            ``(rounds, servers)`` jobs each server received per round.
+        fair_shares:
+            Same shape: each round's rate-proportional expectation.
+
+        Rounds with no arrivals are skipped, exactly as ``observe``
+        skips them; the accumulated statistics match the per-round loop
+        (the imbalance sum up to floating-point summation order).
+        """
+        received = np.asarray(received)
+        totals = received.sum(axis=1)
+        active = totals > 0
+        if not active.any():
+            return
+        rows = received[active]
+        shares = np.asarray(fair_shares)[active]
+        self.rounds_observed += int(rows.shape[0])
+        spikes = rows.max(axis=1)
+        self._spike_sum += float(spikes.sum())
+        self.max_spike = max(self.max_spike, int(spikes.max()))
+        deviation = np.sqrt(np.mean((rows - shares) ** 2, axis=1))
+        self._imbalance_sum += float((deviation / totals[active]).sum())
+
+    def merge(self, other: "HerdingStats") -> None:
+        """Fold another accumulator's rounds into this one."""
+        self.rounds_observed += other.rounds_observed
+        self.max_spike = max(self.max_spike, other.max_spike)
+        self._spike_sum += other._spike_sum
+        self._imbalance_sum += other._imbalance_sum
+
+    def get_state(self) -> dict:
+        """Accumulated state as a JSON-able dict (see :meth:`set_state`)."""
+        return {
+            "rounds": self.rounds_observed,
+            "max_spike": self.max_spike,
+            "spike_sum": self._spike_sum,
+            "imbalance_sum": self._imbalance_sum,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state written by :meth:`get_state` (probe persistence)."""
+        self.rounds_observed = int(state.get("rounds", 0))
+        self.max_spike = int(state.get("max_spike", 0))
+        self._spike_sum = float(state.get("spike_sum", 0.0))
+        self._imbalance_sum = float(state.get("imbalance_sum", 0.0))
+
     @property
     def mean_spike(self) -> float:
         """Average per-round maximum pile-up."""

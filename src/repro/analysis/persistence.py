@@ -21,6 +21,13 @@ from repro.experiments.results import CellRecord, ExperimentResult
 from repro.experiments.workload import UnreconstructedFactory, WorkloadSpec
 from repro.sim.engine import SimulationConfig, SimulationResult
 from repro.sim.metrics import QueueLengthSeries, ResponseTimeHistogram
+from repro.sim.probes import (
+    DEFAULT_PROBE_LABELS,
+    ProbeSpec,
+    QueueSeriesProbe,
+    ResponseTimeProbe,
+    probe_from_state,
+)
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = [
@@ -43,24 +50,30 @@ _EXPERIMENT_FORMAT_VERSION = 1
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Lossless dict form of a simulation result (JSON-serializable)."""
-    hist = result.histogram
-    counts = hist.counts
-    nonzero = np.flatnonzero(counts)
+    """Lossless dict form of a simulation result (JSON-serializable).
+
+    The default collectors serialize exactly as they always did (the
+    ``histogram`` and ``queue_series`` keys), so probe-free results are
+    byte-identical to the pre-probe format; extra probes add their
+    ``state_dict`` under a ``probes`` key and the config records their
+    specs.
+    """
+    config_payload = {
+        "rounds": result.config.rounds,
+        "warmup": result.config.warmup,
+        "seed": result.config.seed,
+        "track_queue_series": result.config.track_queue_series,
+        "backend": result.config.backend,
+    }
+    if result.config.probes:
+        config_payload["probes"] = [
+            {"name": s.name, "kwargs": dict(s.kwargs)} for s in result.config.probes
+        ]
     payload = {
         "format_version": _FORMAT_VERSION,
         "policy_name": result.policy_name,
-        "config": {
-            "rounds": result.config.rounds,
-            "warmup": result.config.warmup,
-            "seed": result.config.seed,
-            "track_queue_series": result.config.track_queue_series,
-            "backend": result.config.backend,
-        },
-        "histogram": {
-            "values": nonzero.tolist(),
-            "counts": counts[nonzero].tolist(),
-        },
+        "config": config_payload,
+        "histogram": result.histogram.state_dict(),
         "total_arrived": result.total_arrived,
         "total_departed": result.total_departed,
         "final_queued": result.final_queued,
@@ -68,6 +81,13 @@ def result_to_dict(result: SimulationResult) -> dict:
     }
     if result.queue_series is not None:
         payload["queue_series"] = result.queue_series.values.tolist()
+    extras = {
+        label: probe.state_dict()
+        for label, probe in result.probes.items()
+        if label not in DEFAULT_PROBE_LABELS
+    }
+    if extras:
+        payload["probes"] = extras
     return payload
 
 
@@ -77,8 +97,7 @@ def result_from_dict(payload: dict) -> SimulationResult:
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported result format version: {version!r}")
     hist = ResponseTimeHistogram()
-    for value, count in zip(payload["histogram"]["values"], payload["histogram"]["counts"]):
-        hist.record(int(value), int(count))
+    hist.load_state(payload["histogram"])
     series = None
     if "queue_series" in payload:
         series = QueueLengthSeries(rounds_hint=len(payload["queue_series"]))
@@ -87,6 +106,18 @@ def result_from_dict(payload: dict) -> SimulationResult:
     config_payload = dict(payload["config"])
     # Files written before the engine-backend registry carry no key.
     config_payload.setdefault("backend", "reference")
+    # ProbeSpec.__post_init__ coerces dict kwargs to the sorted tuple.
+    config_payload["probes"] = tuple(
+        ProbeSpec(p["name"], p.get("kwargs", {}))
+        for p in config_payload.get("probes", ())
+    )
+    # Re-home the collectors as the default probe set (legacy files
+    # carry no "probes" key and load with exactly these two).
+    probes = {"responses": ResponseTimeProbe(histogram=hist)}
+    if series is not None:
+        probes["queue_series"] = QueueSeriesProbe(series=series)
+    for label, state in payload.get("probes", {}).items():
+        probes[label] = probe_from_state(state)
     return SimulationResult(
         policy_name=payload["policy_name"],
         config=SimulationConfig(**config_payload),
@@ -96,6 +127,7 @@ def result_from_dict(payload: dict) -> SimulationResult:
         total_departed=int(payload["total_departed"]),
         final_queued=int(payload["final_queued"]),
         final_queues=np.asarray(payload["final_queues"], dtype=np.int64),
+        probes=probes,
     )
 
 
@@ -261,6 +293,10 @@ def experiment_result_from_dict(payload: dict) -> ExperimentResult:
         warmup=int(spec["warmup"]),
         base_seed=int(spec["base_seed"]),
         backend=spec.get("backend", "reference"),
+        metrics=tuple(
+            ProbeSpec(p["name"], p.get("kwargs", {}))
+            for p in spec.get("metrics", ())
+        ),
     )
     records = tuple(_record_from_dict(r) for r in payload["records"])
     return ExperimentResult(experiment=experiment, records=records)

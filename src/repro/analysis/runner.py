@@ -38,13 +38,16 @@ class ExperimentConfig:
 
     ``base_seed`` shifts the whole experiment to a fresh workload
     realization (use different values for replications).  ``backend``
-    picks the engine round kernel (see :mod:`repro.sim.backends`).
+    picks the engine round kernel (see :mod:`repro.sim.backends`);
+    ``metrics`` appends extra observability probes (names or
+    ``ProbeSpec``, see :mod:`repro.sim.probes`) to every run.
     """
 
     rounds: int = 10_000
     warmup: int = 0
     base_seed: int = 0
     backend: str = "reference"
+    metrics: tuple = ()
 
 
 def _workload_seed(config: ExperimentConfig, system: SystemSpec, rho: float) -> int:
@@ -80,6 +83,7 @@ def run_simulation(
         rounds=config.rounds,
         warmup=config.warmup,
         backend=config.backend,
+        probes=config.metrics,
     )
 
 
@@ -124,6 +128,7 @@ def mean_response_sweep(
         warmup=config.warmup,
         base_seed=config.base_seed,
         backend=config.backend,
+        metrics=config.metrics,
     )
     result = experiment.run(workers=workers, keep_results=False)
     return result.to_sweep()
@@ -146,6 +151,7 @@ def tail_experiment(
         warmup=config.warmup,
         base_seed=config.base_seed,
         backend=config.backend,
+        metrics=config.metrics,
     )
     result = experiment.run(workers=workers, keep_results=True)
     return {record.policy: record.result for record in result.records}

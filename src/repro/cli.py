@@ -7,9 +7,12 @@ Subcommands
 ``policies``    list the registered dispatching policies
 ``backends``    list the registered engine backends (round kernels),
                 both the unsized and the sized-engine registries
+``probes``      list the registered observability probes (``--metrics``
+                accepts them on ``experiment`` and ``simulate``)
 ``experiment``  declarative grid: policies x systems x loads x reps x
-                workload, optionally on a process pool (``--workers``)
-                and/or the vectorized engine (``--backend fast``)
+                workload, optionally on a process pool (``--workers``),
+                the vectorized engine (``--backend fast``) and extra
+                probes (``--metrics herding server_stats``)
 ``simulate``    one (policy, system, load) run; optional JSON output
 ``sweep``       mean response times over a load grid, several policies
 ``tails``       tail quantiles at one load, several policies
@@ -25,6 +28,8 @@ Examples
     repro experiment --policies scd sed --workload skew:3 --loads 0.9
     repro experiment --policies jsq rr wr --backend fast --rounds 100000
     repro experiment --policies jsq sed --workload sized:geom:4 --backend fast
+    repro experiment --policies scd jsq --metrics herding server_stats \
+        windowed_mean:window=500
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
@@ -56,6 +61,7 @@ from repro.analysis.tables import format_series_table, format_table
 from repro.core.theory import strong_stability_bound
 from repro.policies.base import available_policies
 from repro.sim.backends import available_backends, backend_descriptions
+from repro.sim.probes import DEFAULT_PROBE_LABELS, ProbeSpec, probe_descriptions
 from repro.sim.sized import BimodalSize, DeterministicSize, GeometricSize
 from repro.sim.sizedbackends import (
     available_sized_backends,
@@ -98,6 +104,7 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         warmup=args.warmup,
         base_seed=args.seed,
         backend=getattr(args, "backend", "reference"),
+        metrics=_parse_metrics(getattr(args, "metrics", None)),
     )
 
 
@@ -120,6 +127,52 @@ def cmd_backends(args: argparse.Namespace) -> int:
         for name, description in descriptions.items():
             print(f"  {name:<{width}}  {description}")
     return 0
+
+
+def _coerce_param(text: str):
+    """Best-effort int -> float -> str coercion for key=value params."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_probe_token(token: str) -> ProbeSpec:
+    """``name`` or ``name:key=value[,key=value...]`` -> validated spec."""
+    name, _, params = token.partition(":")
+    kwargs = {}
+    if params:
+        for pair in params.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key:
+                raise SystemExit(
+                    f"invalid probe parameter {pair!r} in {token!r}; "
+                    f"expected key=value"
+                )
+            kwargs[key] = _coerce_param(value)
+    spec = ProbeSpec.of(name, **kwargs)
+    try:
+        spec.build()  # fail now with the registry's error, not mid-run
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"invalid probe {token!r}: {error}")
+    return spec
+
+
+def _parse_metrics(tokens) -> tuple[ProbeSpec, ...]:
+    specs = tuple(_parse_probe_token(token) for token in tokens or ())
+    seen = set()
+    for spec in specs:
+        if spec.name in DEFAULT_PROBE_LABELS:
+            raise SystemExit(
+                f"probe {spec.name!r} is an always-on default collector; "
+                f"do not pass it to --metrics"
+            )
+        if spec.label in seen:
+            raise SystemExit(f"duplicate probe {spec.label!r} in --metrics")
+        seen.add(spec.label)
+    return specs
 
 
 def _parse_system_token(token: str, profile: str, rate_seed: int) -> SystemSpec:
@@ -155,6 +208,17 @@ def _parse_job_sizes(params: str):
     raise SystemExit(
         f"unknown job-size family {family!r}; expected geom, det or bimodal"
     )
+
+
+def cmd_probes(args: argparse.Namespace) -> int:
+    descriptions = probe_descriptions()
+    width = max(len(name) for name in descriptions)
+    print("observability probes (pass extras via --metrics):")
+    for name, description in descriptions.items():
+        marker = "*" if name in DEFAULT_PROBE_LABELS else " "
+        print(f" {marker} {name:<{width}}  {description}")
+    print("\n(* = always-on default collector)")
+    return 0
 
 
 def _parse_workload(token: str) -> WorkloadSpec:
@@ -195,6 +259,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             base_seed=args.seed,
             backend=args.backend,
+            metrics=_parse_metrics(args.metrics),
         )
     except ValueError as error:
         raise SystemExit(f"invalid experiment: {error}")
@@ -226,6 +291,26 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         for rho in experiment.loads:
             best = result.best_policy_at(rho, system=system.name)
             print(f"  best on {system.name} at rho={rho}: {best}")
+    extra_keys = sorted(
+        {key for record in result.records for key in record.metrics if "." in key}
+    )
+    if extra_keys:
+        aggregated_extras = {key: result.aggregate(key) for key in extra_keys}
+        groups = sorted(
+            aggregated_extras[extra_keys[0]],
+            key=lambda g: (g[1], g[2], g[0]),  # system, rho, policy
+        )
+        print(
+            format_table(
+                ["system", "rho", "policy"] + extra_keys,
+                [
+                    [group[1], group[2], group[0]]
+                    + [aggregated_extras[key][group]["mean"] for key in extra_keys]
+                    for group in groups
+                ],
+                title="Probe metrics (replication-averaged)",
+            )
+        )
     if args.save:
         path = save_experiment(result, args.save)
         print(f"experiment written to {path}")
@@ -248,6 +333,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"\njobs: arrived={result.total_arrived} "
         f"departed={result.total_departed} queued={result.final_queued}"
     )
+    for label, probe in result.probes.items():
+        if label in DEFAULT_PROBE_LABELS:
+            continue
+        print(
+            format_table(
+                ["metric", "value"],
+                [[key, value] for key, value in probe.summary().items()],
+                title=f"probe {label}",
+            )
+        )
     if args.save:
         path = save_result(result, args.save)
         print(f"result written to {path}")
@@ -355,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_backends)
 
     p = sub.add_parser(
+        "probes", help="list registered observability probes (--metrics)"
+    )
+    p.set_defaults(func=cmd_probes)
+
+    p = sub.add_parser(
         "experiment",
         help="declarative grid: policies x systems x loads x replications",
     )
@@ -393,6 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
         "`repro backends`",
     )
     p.add_argument(
+        "--metrics",
+        nargs="*",
+        default=[],
+        metavar="PROBE",
+        help="extra observability probes per cell, as NAME or "
+        "NAME:key=value[,key=value]; summaries land in each record's "
+        "metrics as NAME.key columns; see `repro probes`",
+    )
+    p.add_argument(
         "--profile",
         default="u1_10",
         choices=["u1_10", "u1_100", "bimodal", "homogeneous"],
@@ -411,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         choices=available_backends(),
         help="engine round kernel (see `repro backends`)",
+    )
+    p.add_argument(
+        "--metrics",
+        nargs="*",
+        default=[],
+        metavar="PROBE",
+        help="extra observability probes (see `repro probes`); summaries "
+        "print after the run and persist with --save",
     )
     _add_system_args(p)
     _add_run_args(p)

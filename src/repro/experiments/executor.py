@@ -51,6 +51,7 @@ def simulate_cell(
     rounds: int,
     warmup: int = 0,
     backend: str = "reference",
+    probes: tuple = (),
 ) -> SimulationResult | SizedSimulationResult:
     """Run one simulation at fully resolved coordinates.
 
@@ -61,15 +62,15 @@ def simulate_cell(
     round kernel in the engine's own registry --
     :mod:`repro.sim.backends` for unsized workloads,
     :mod:`repro.sim.sizedbackends` for sized ones; unknown names fail
-    with that registry's error message.
+    with that registry's error message.  ``probes`` are extra
+    observability probes (names or ``ProbeSpec``) appended to the
+    default collectors in either engine.
     """
     rates = system.rates()
     policy_obj = policy if isinstance(policy, Policy) else PolicySpec.of(policy).build()
     arrivals = workload.build_arrivals(system, rho)
     service = workload.build_service(system)
     if workload.job_sizes is not None:
-        if warmup:
-            raise ValueError("the sized-job engine does not support warmup")
         return SizedSimulation(
             rates=rates,
             policy=policy_obj,
@@ -79,6 +80,8 @@ def simulate_cell(
             rounds=rounds,
             seed=seed,
             backend=backend,
+            warmup=warmup,
+            probes=probes,
         ).run()
     return Simulation(
         rates=rates,
@@ -86,7 +89,7 @@ def simulate_cell(
         arrivals=arrivals,
         service=service,
         config=SimulationConfig(
-            rounds=rounds, warmup=warmup, seed=seed, backend=backend
+            rounds=rounds, warmup=warmup, seed=seed, backend=backend, probes=probes
         ),
     ).run()
 
@@ -102,6 +105,7 @@ def execute_cell(cell: Cell, keep_results: bool = True) -> CellRecord:
         cell.rounds,
         cell.warmup,
         cell.backend,
+        cell.metrics,
     )
     return CellRecord(
         policy=cell.policy.label,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.policies.base import Policy, make_policy
+from repro.sim.probes import DEFAULT_PROBE_LABELS, Probe, ProbeSpec
 from repro.sim.seeding import derive_seed
 from repro.workloads.scenarios import SystemSpec
 
@@ -98,6 +99,7 @@ class Cell:
     rounds: int
     warmup: int
     backend: str = "reference"
+    metrics: tuple[ProbeSpec, ...] = ()
 
 
 def _as_tuple(value, scalar_types) -> tuple:
@@ -140,6 +142,11 @@ class Experiment:
     #: :mod:`repro.sim.sizedbackends`; ``"reference"`` is the bit-exact
     #: default, ``"fast"`` the vectorized kernel in both registries.
     backend: str = "reference"
+    #: Extra observability probes run in every cell (registry names or
+    #: :class:`~repro.sim.probes.ProbeSpec`); their summaries land in
+    #: each record's metrics under ``<label>.<key>`` keys.  The default
+    #: collectors are always present regardless.
+    metrics: tuple[ProbeSpec, ...] = ()
 
     def __post_init__(self) -> None:
         policies = tuple(
@@ -148,10 +155,26 @@ class Experiment:
         systems = _as_tuple(self.systems, SystemSpec)
         loads = tuple(float(x) for x in _as_tuple(self.loads, (int, float)))
         workloads = _as_tuple(self.workloads, WorkloadSpec)
+        metrics = tuple(
+            ProbeSpec.of(p) for p in _as_tuple(self.metrics, (str, ProbeSpec, Probe))
+        )
         object.__setattr__(self, "policies", policies)
         object.__setattr__(self, "systems", systems)
         object.__setattr__(self, "loads", loads)
         object.__setattr__(self, "workloads", workloads)
+        object.__setattr__(self, "metrics", metrics)
+        if len({s.label for s in metrics}) != len(metrics):
+            raise ValueError("probe labels must be unique")
+        defaults = {s.name for s in metrics} & set(DEFAULT_PROBE_LABELS)
+        if defaults:
+            raise ValueError(
+                f"probes {sorted(defaults)} are always-on default collectors; "
+                f"do not list them in metrics"
+            )
+        # Fail fast on unknown probe names / bad kwargs (the registry's
+        # own error) instead of mid-grid on a worker.
+        for spec in metrics:
+            spec.build()
         if not policies or not systems or not loads or not workloads:
             raise ValueError("every experiment axis needs at least one value")
         if len({p.label for p in policies}) != len(policies):
@@ -219,6 +242,7 @@ class Experiment:
                     rounds=self.rounds,
                     warmup=self.warmup,
                     backend=self.backend,
+                    metrics=self.metrics,
                 )
                 index += 1
 
@@ -280,8 +304,13 @@ class Experiment:
         )
 
     def describe(self) -> dict:
-        """JSON-able descriptor of the grid (used by persistence)."""
-        return {
+        """JSON-able descriptor of the grid (used by persistence).
+
+        The ``metrics`` key is emitted only when extra probes were
+        requested, so files written by probe-free experiments are
+        byte-identical to the pre-probe format.
+        """
+        descriptor = {
             "policies": [
                 {"name": p.name, "kwargs": dict(p.kwargs)} for p in self.policies
             ],
@@ -302,3 +331,8 @@ class Experiment:
             "base_seed": self.base_seed,
             "backend": self.backend,
         }
+        if self.metrics:
+            descriptor["metrics"] = [
+                {"name": s.name, "kwargs": dict(s.kwargs)} for s in self.metrics
+            ]
+        return descriptor

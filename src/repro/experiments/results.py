@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.sim.engine import SimulationResult
+from repro.sim.probes import DEFAULT_PROBE_LABELS
 from repro.sim.sized import SizedSimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,7 +38,13 @@ _PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999))
 def metrics_from_result(
     result: SimulationResult | SizedSimulationResult,
 ) -> dict[str, float]:
-    """Flat metrics mapping for either engine's result."""
+    """Flat metrics mapping for either engine's result.
+
+    The legacy keys (mean/percentiles/accounting) come from the default
+    collectors exactly as they always did; every *extra* probe the run
+    carried contributes its summary under namespaced ``<label>.<key>``
+    keys, which is what makes record metrics an open dict.
+    """
     hist = result.histogram
     metrics = {"mean": hist.mean()}
     metrics.update(
@@ -53,6 +60,11 @@ def metrics_from_result(
         metrics["arrived"] = float(result.total_units_arrived)
         metrics["departed"] = float(result.total_units_departed)
         metrics["queued"] = float(result.final_units_queued)
+    for label, probe in result.probes.items():
+        if label in DEFAULT_PROBE_LABELS:
+            continue
+        for key, value in probe.summary().items():
+            metrics[f"{label}.{key}"] = float(value)
     return metrics
 
 

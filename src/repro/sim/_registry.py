@@ -1,12 +1,13 @@
-"""Shared machinery for the engine-backend registries.
+"""Shared machinery for the engine-backend and probe registries.
 
-:mod:`repro.sim.backends` (unsized round kernels) and
-:mod:`repro.sim.sizedbackends` (sized round kernels) expose the same
-name -> backend-factory surface: a class decorator to register, a
-``make`` resolver accepting names or instances, and sorted
-name/description listings for the CLI.  Keeping that behavior in one
-place means the two registries cannot drift (case handling, duplicate
-detection, error shapes) and a third registry costs one instantiation.
+:mod:`repro.sim.backends` (unsized round kernels),
+:mod:`repro.sim.sizedbackends` (sized round kernels) and
+:mod:`repro.sim.probes` (observability probes) expose the same
+name -> factory surface: a class decorator to register, a ``make``
+resolver accepting names or instances, and sorted name/description
+listings for the CLI.  Keeping that behavior in one place means the
+registries cannot drift (case handling, duplicate detection, error
+shapes) and a fourth registry costs one instantiation.
 """
 
 from __future__ import annotations
@@ -51,17 +52,28 @@ class BackendRegistry(Generic[T]):
 
         return decorator
 
-    def make(self, spec: "str | T") -> T:
-        """Instantiate a backend from its registry name (or pass one through)."""
+    def make(self, spec: "str | T", **kwargs) -> T:
+        """Instantiate from a registry name (or pass an instance through).
+
+        ``kwargs`` go to the factory (probes take constructor
+        parameters; engine backends take none) and are rejected with an
+        instance, which is already built.
+        """
         if isinstance(spec, self._base):
+            if kwargs:
+                raise ValueError(f"cannot pass kwargs with a {self._kind} instance")
             return spec
-        key = spec.lower()
+        return self.factory(spec)(**kwargs)
+
+    def factory(self, name: str) -> Callable[..., T]:
+        """The factory registered under ``name`` (same error as ``make``)."""
+        key = name.lower()
         if key not in self._factories:
             known = ", ".join(sorted(self._factories))
             raise ValueError(
-                f"unknown {self._kind} {spec!r}; known {self._plural}: {known}"
+                f"unknown {self._kind} {name!r}; known {self._plural}: {known}"
             )
-        return self._factories[key]()
+        return self._factories[key]
 
     def available(self) -> list[str]:
         """Names accepted by :meth:`make`, sorted."""

@@ -36,7 +36,14 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import BatchQueueStore
-from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .probes import (
+    BlockRecorder,
+    ProbeBlock,
+    ProbeContext,
+    ProbeSet,
+    ResponseTee,
+    build_probe_set,
+)
 from .server import ServerQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine resolves us)
@@ -90,6 +97,23 @@ def _make_result(sim: "Simulation", **kwargs) -> "SimulationResult":
     return SimulationResult(policy_name=sim.policy.name, config=sim.config, **kwargs)
 
 
+def _probe_set_for(sim: "Simulation") -> ProbeSet:
+    """Default collectors plus the config's extra probes, bound to the run."""
+    config = sim.config
+    return build_probe_set(
+        ProbeContext(
+            num_servers=sim.rates.size,
+            num_dispatchers=sim.arrivals.num_dispatchers,
+            rates=sim.rates,
+            rounds=config.rounds,
+            warmup=config.warmup,
+            sized=False,
+        ),
+        config.probes,
+        track_queue_series=config.track_queue_series,
+    )
+
+
 @register_backend("reference")
 class ReferenceBackend(EngineBackend):
     """The original per-dispatcher / per-server Python loop (bit-exact default)."""
@@ -112,12 +136,11 @@ class ReferenceBackend(EngineBackend):
         m = arrivals.num_dispatchers
         servers = [ServerQueue() for _ in range(n)]
         queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = (
-            QueueLengthSeries(rounds_hint=config.rounds)
-            if config.track_queue_series
-            else None
-        )
+        probes = _probe_set_for(sim)
+        histogram = probes.histogram
+        series = probes.queue_series
+        recorder = BlockRecorder(probes, _CHUNK_ROUNDS)
+        tee = ResponseTee(probes, histogram) if probes.wants_responses else None
         total_arrived = 0
         total_departed = 0
         server_received = np.zeros(n, dtype=np.int64)
@@ -131,6 +154,7 @@ class ReferenceBackend(EngineBackend):
 
             # Phase 2: dispatching (independent decisions, shared snapshot).
             policy.begin_round(t, queues)
+            received = None
             if round_total:
                 policy.observe_total_arrivals(round_total)
                 received = np.zeros(n, dtype=np.int64)
@@ -148,27 +172,39 @@ class ReferenceBackend(EngineBackend):
             # Phase 3: departures.
             capacities = service.sample(departure_rng, t)
             sink = histogram if t >= config.warmup else None
+            if tee is not None and sink is not None:
+                sink = tee
+            done_row = (
+                np.zeros(n, dtype=np.int64) if recorder.needs_done else None
+            )
             busy = np.flatnonzero((queues > 0) & (capacities > 0))
             for s in busy:
                 done = servers[s].complete(int(capacities[s]), t, sink)
                 queues[s] -= done
                 total_departed += done
                 server_departed[s] += done
+                if done_row is not None:
+                    done_row[s] = done
 
             policy.end_round(t, queues)
             if series is not None:
                 series.record(int(queues.sum()))
+            recorder.record(t, batch, received, done_row, queues)
+            if tee is not None and sink is tee:
+                tee.flush(t)
+        recorder.flush()
 
         return _make_result(
             sim,
             histogram=histogram,
-            queue_series=series,
+            queue_series=probes.queue_series,
             total_arrived=total_arrived,
             total_departed=total_departed,
             final_queued=int(queues.sum()),
             final_queues=queues,
             server_received=server_received,
             server_departed=server_departed,
+            probes=probes.as_dict(),
         )
 
 
@@ -215,11 +251,12 @@ class FastBackend(EngineBackend):
         native = has_native_dispatch_round(policy)
         store = BatchQueueStore(n)
         queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = (
-            QueueLengthSeries(rounds_hint=config.rounds)
-            if config.track_queue_series
-            else None
+        probes = _probe_set_for(sim)
+        histogram = probes.histogram
+        series = probes.queue_series
+        need_queues = "queues" in probes.fields
+        response_sink = (
+            probes.observe_responses if probes.wants_responses else None
         )
         total_arrived = 0
         server_received = np.zeros(n, dtype=np.int64)
@@ -231,6 +268,9 @@ class FastBackend(EngineBackend):
             capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
             received_block = np.zeros((chunk, n), dtype=np.int64)
             done_block = np.zeros((chunk, n), dtype=np.int64)
+            queue_block = (
+                np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+            )
 
             for i in range(chunk):
                 t = chunk_start + i
@@ -277,21 +317,41 @@ class FastBackend(EngineBackend):
                 policy.end_round(t, queues)
                 if series is not None:
                     series.record(int(queues.sum()))
+                if queue_block is not None:
+                    queue_block[i] = queues
 
             server_departed += done_block.sum(axis=0)
             store.process_block(
-                chunk_start, received_block, done_block, histogram, config.warmup
+                chunk_start,
+                received_block,
+                done_block,
+                histogram,
+                config.warmup,
+                response_sink=response_sink,
             )
+            if probes.wants_blocks:
+                fields = probes.fields
+                probes.observe_block(
+                    ProbeBlock(
+                        start_round=chunk_start,
+                        length=chunk,
+                        batch=arrival_block if "batch" in fields else None,
+                        received=received_block if "received" in fields else None,
+                        done=done_block if "done" in fields else None,
+                        queues=queue_block,
+                    )
+                )
         total_departed = int(server_departed.sum())
 
         return _make_result(
             sim,
             histogram=histogram,
-            queue_series=series,
+            queue_series=probes.queue_series,
             total_arrived=total_arrived,
             total_departed=total_departed,
             final_queued=int(queues.sum()),
             final_queues=queues,
             server_received=server_received,
             server_departed=server_departed,
+            probes=probes.as_dict(),
         )

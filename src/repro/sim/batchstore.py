@@ -91,6 +91,7 @@ class BatchQueueStore:
         done_block: np.ndarray,
         histogram: ResponseTimeHistogram | None,
         warmup: int = 0,
+        response_sink=None,
     ) -> None:
         """Advance the store over rounds ``start_round .. start_round+L-1``.
 
@@ -110,6 +111,10 @@ class BatchQueueStore:
             Completions in rounds ``< warmup`` are not recorded (queue
             accounting still includes them), matching the reference
             engine's per-round sink gating.
+        response_sink:
+            Optional callable ``(departure_rounds, times, counts)``
+            receiving the same post-warmup records the histogram gets
+            (the probe feed; see :mod:`repro.sim.probes`).
         """
         n = self._n
         new_totals = received_block.sum(axis=0)
@@ -206,13 +211,15 @@ class BatchQueueStore:
         seg_batch = np.searchsorted(batch_ends, starts, side="right")
         seg_dep = np.searchsorted(all_dep_ends, starts, side="right")
 
-        if histogram is not None:
+        if histogram is not None or response_sink is not None:
             dep_round = all_dep_rounds[seg_dep]
             record = ~still_queued[seg_dep] & (dep_round >= warmup)
-            histogram.record_many(
-                dep_round[record] - batch_rounds[seg_batch[record]] + 1,
-                seg_len[record],
-            )
+            times = dep_round[record] - batch_rounds[seg_batch[record]] + 1
+            counts = seg_len[record]
+            if histogram is not None:
+                histogram.record_many(times, counts)
+            if response_sink is not None:
+                response_sink(dep_round[record], times, counts)
 
         # Segments mapped to a sentinel are the carry; global segment
         # order is server-major FIFO, and each pending batch contributes
@@ -282,6 +289,7 @@ class SizedBatchQueueStore:
         done_block: np.ndarray,
         histogram: ResponseTimeHistogram | None,
         warmup: int = 0,
+        response_sink=None,
     ) -> None:
         """Advance the store over rounds ``start_round .. start_round+L-1``.
 
@@ -302,6 +310,10 @@ class SizedBatchQueueStore:
         warmup:
             Jobs finishing in rounds ``< warmup`` are not recorded
             (unit accounting still includes them).
+        response_sink:
+            Optional callable ``(departure_rounds, times, counts)``
+            receiving the same post-warmup records the histogram gets
+            (the probe feed; see :mod:`repro.sim.probes`).
         """
         n = self._n
         job_servers = np.asarray(job_servers, dtype=np.int64)
@@ -398,13 +410,15 @@ class SizedBatchQueueStore:
         interval = np.searchsorted(all_dep_ends, job_ends, side="left")
         completed = ~still_queued[interval]
 
-        if histogram is not None:
+        if histogram is not None or response_sink is not None:
             dep_round = all_dep_rounds[interval]
             record = completed & (dep_round >= warmup)
-            histogram.record_many(
-                dep_round[record] - rounds_merged[record] + 1,
-                np.ones(int(record.sum()), dtype=np.int64),
-            )
+            times = dep_round[record] - rounds_merged[record] + 1
+            counts = np.ones(int(record.sum()), dtype=np.int64)
+            if histogram is not None:
+                histogram.record_many(times, counts)
+            if response_sink is not None:
+                response_sink(dep_round[record], times, counts)
 
         # Carry: jobs whose last unit outlives the block's completions;
         # the head job of each leftover server may be partially served.

@@ -30,6 +30,7 @@ from repro.policies.base import Policy, SystemContext
 
 from .arrivals import ArrivalProcess
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .probes import Probe, ProbeSpec
 from .seeding import spawn_streams
 from .service import ServiceProcess
 
@@ -59,6 +60,13 @@ class SimulationConfig:
         ``"reference"`` is the original bit-exact loop; ``"fast"`` is the
         vectorized round kernel.  Resolved when :meth:`Simulation.run` is
         called, so unknown names fail with the list of known backends.
+    probes:
+        Extra observability probes for this run, as registry names or
+        :class:`~repro.sim.probes.ProbeSpec` objects (see
+        :mod:`repro.sim.probes`; ``repro probes`` lists them).  The
+        default collectors (response histogram, queue series) are
+        always present; these are appended and surface their summaries
+        under ``<label>.<key>`` metric keys and ``result.probes``.
     """
 
     rounds: int = 10_000
@@ -66,6 +74,7 @@ class SimulationConfig:
     seed: int = 0
     track_queue_series: bool = True
     backend: str = "reference"
+    probes: tuple[ProbeSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -74,6 +83,9 @@ class SimulationConfig:
             raise ValueError("warmup must be in [0, rounds)")
         if not self.backend:
             raise ValueError("backend must be a non-empty registry name")
+        object.__setattr__(
+            self, "probes", tuple(ProbeSpec.of(p) for p in self.probes)
+        )
 
 
 @dataclass
@@ -91,6 +103,8 @@ class SimulationResult:
     #: Jobs each server received / completed over the whole run.
     server_received: np.ndarray | None = field(default=None, repr=False)
     server_departed: np.ndarray | None = field(default=None, repr=False)
+    #: Label -> probe, every probe of the run (defaults + extras).
+    probes: dict[str, Probe] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def mean_response_time(self) -> float:
@@ -121,6 +135,10 @@ class SimulationResult:
             "p999": float(hist.percentile(0.999)),
             "max": float(hist.max_response_time),
         }
+
+    def probe_summaries(self) -> dict[str, dict[str, float]]:
+        """Label -> summary for every probe carried by this run."""
+        return {label: probe.summary() for label, probe in self.probes.items()}
 
 
 class Simulation:

@@ -74,6 +74,27 @@ class ResponseTimeHistogram:
         if hi > self._max_seen:
             self._max_seen = hi
 
+    def state_dict(self) -> dict:
+        """Sparse JSON-able form: nonzero ``values`` and their ``counts``.
+
+        The one wire format for response-time histograms -- result
+        persistence and the ``responses`` probe both delegate here, so
+        the encoding cannot drift between them.
+        """
+        counts = self.counts
+        nonzero = np.flatnonzero(counts)
+        return {
+            "values": nonzero.tolist(),
+            "counts": counts[nonzero].tolist(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Fold in counts written by :meth:`state_dict`."""
+        self.record_many(
+            np.asarray(state.get("values", ()), dtype=np.int64),
+            np.asarray(state.get("counts", ()), dtype=np.int64),
+        )
+
     def merge(self, other: "ResponseTimeHistogram") -> None:
         """Fold another histogram's counts into this one."""
         hi = other._max_seen
@@ -169,6 +190,36 @@ class QueueLengthSeries:
         self._values[self._count] = total_queue_length
         self._count += 1
 
+    def record_many(self, totals: np.ndarray) -> None:
+        """Append one total per round, in round order (bulk ``record``)."""
+        totals = np.asarray(totals, dtype=np.int64)
+        if totals.ndim != 1:
+            raise ValueError("totals must be a 1-D array of per-round values")
+        needed = self._count + totals.size
+        if needed > self._values.size:
+            grown = np.zeros(max(self._values.size * 2, needed), dtype=np.int64)
+            grown[: self._count] = self._values[: self._count]
+            self._values = grown
+        self._values[self._count : needed] = totals
+        self._count = needed
+
+    def merge(self, other: "QueueLengthSeries") -> None:
+        """Fold in a parallel series by element-wise addition.
+
+        The shard-merge operation: two series recorded over the *same
+        rounds* (e.g. by server shards of one simulation) combine into
+        the pool-wide series by adding per-round totals.  Series of
+        different lengths cover different rounds and cannot be aligned,
+        so a length mismatch raises.
+        """
+        if other._count != self._count:
+            raise ValueError(
+                f"cannot merge a {other._count}-round series into a "
+                f"{self._count}-round series; shard series must cover the "
+                f"same rounds"
+            )
+        self._values[: self._count] += other._values[: other._count]
+
     @property
     def values(self) -> np.ndarray:
         """The recorded series as a read-only array."""
@@ -198,12 +249,14 @@ class QueueLengthSeries:
         """Mean of the last ``fraction`` of rounds over the first.
 
         A scale-free instability signal: ~1 for stationary series, large
-        for growing ones.
+        for growing ones.  Series shorter than 8 rounds have no
+        meaningful head/tail split and yield NaN (they used to silently
+        report 1.0, masquerading as a confident "stationary" verdict).
         """
         if not 0.0 < fraction <= 0.5:
             raise ValueError("fraction must be in (0, 0.5]")
         if self._count < 8:
-            return 1.0
+            return float("nan")
         k = max(1, int(self._count * fraction))
         head = float(self.values[:k].mean())
         tail = float(self.values[-k:].mean())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.policies.base import Policy, SystemContext
 
 from .arrivals import ArrivalProcess
 from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .probes import Probe, ProbeSpec
 from .seeding import spawn_streams
 from .service import ServiceProcess
 
@@ -193,15 +194,27 @@ class SizedSimulationResult:
     total_units_arrived: int
     total_units_departed: int
     final_units_queued: int
+    #: Label -> probe, every probe of the run (defaults + extras).
+    probes: dict[str, Probe] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def mean_response_time(self) -> float:
         """Average per-job response time (rounds)."""
         return self.histogram.mean()
 
+    def probe_summaries(self) -> dict[str, dict[str, float]]:
+        """Label -> summary for every probe carried by this run."""
+        return {label: probe.summary() for label, probe in self.probes.items()}
+
 
 class SizedSimulation:
-    """Round engine over work-unit queues (drop-in analog of Simulation)."""
+    """Round engine over work-unit queues (drop-in analog of Simulation).
+
+    ``warmup`` discards response times of jobs *completing* during the
+    first ``warmup`` rounds (unit accounting still includes them), and
+    ``probes`` appends extra observability probes to the default
+    collectors, both exactly as in :class:`repro.sim.engine.SimulationConfig`.
+    """
 
     def __init__(
         self,
@@ -213,12 +226,16 @@ class SizedSimulation:
         rounds: int = 10_000,
         seed: int = 0,
         backend: str = "reference",
+        warmup: int = 0,
+        probes: tuple = (),
     ) -> None:
         self.rates = np.asarray(rates, dtype=np.float64)
         if service.num_servers != self.rates.size:
             raise ValueError("service process size mismatch")
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
+        if not 0 <= warmup < rounds:
+            raise ValueError("warmup must be in [0, rounds)")
         if not backend:
             raise ValueError("backend must be a non-empty registry name")
         self.policy = policy
@@ -226,7 +243,9 @@ class SizedSimulation:
         self.service = service
         self.sizes = sizes
         self.rounds = int(rounds)
+        self.warmup = int(warmup)
         self.backend = backend
+        self.probes = tuple(ProbeSpec.of(p) for p in probes)
         self._streams = spawn_streams(seed)
         policy.bind(
             SystemContext(

@@ -41,7 +41,14 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import SizedBatchQueueStore
-from .metrics import QueueLengthSeries, ResponseTimeHistogram
+from .probes import (
+    BlockRecorder,
+    ProbeBlock,
+    ProbeContext,
+    ProbeSet,
+    ResponseTee,
+    build_probe_set,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sized resolves us)
     from .sized import SizedSimulation, SizedSimulationResult
@@ -94,6 +101,21 @@ def _make_result(sim: "SizedSimulation", **kwargs) -> "SizedSimulationResult":
     return SizedSimulationResult(policy_name=sim.policy.name, **kwargs)
 
 
+def _probe_set_for(sim: "SizedSimulation") -> ProbeSet:
+    """Default collectors plus the run's extra probes, unit-denominated."""
+    return build_probe_set(
+        ProbeContext(
+            num_servers=sim.rates.size,
+            num_dispatchers=sim.arrivals.num_dispatchers,
+            rates=sim.rates,
+            rounds=sim.rounds,
+            warmup=sim.warmup,
+            sized=True,
+        ),
+        sim.probes,
+    )
+
+
 @register_sized_backend("reference")
 class SizedReferenceBackend(SizedEngineBackend):
     """The original per-dispatcher / per-server Python loop (bit-exact default)."""
@@ -113,8 +135,11 @@ class SizedReferenceBackend(SizedEngineBackend):
         departure_rng = sim._streams.departures
         servers = [SizedServerQueue() for _ in range(n)]
         unit_queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = QueueLengthSeries(rounds_hint=sim.rounds)
+        probes = _probe_set_for(sim)
+        histogram = probes.histogram
+        series = probes.queue_series
+        recorder = BlockRecorder(probes, _CHUNK_ROUNDS)
+        tee = ResponseTee(probes, histogram) if probes.wants_responses else None
         total_jobs = 0
         units_in = 0
         units_out = 0
@@ -125,6 +150,7 @@ class SizedReferenceBackend(SizedEngineBackend):
             total_jobs += round_jobs
 
             sim.policy.begin_round(t, unit_queues)
+            received_units = None
             if round_jobs:
                 sim.policy.observe_total_arrivals(round_jobs)
                 # All dispatchers decide against the same snapshot; queue
@@ -154,23 +180,36 @@ class SizedReferenceBackend(SizedEngineBackend):
                 units_in += int(received_units.sum())
 
             capacities = sim.service.sample(departure_rng, t)
+            sink = histogram if t >= sim.warmup else None
+            if tee is not None and sink is not None:
+                sink = tee
+            done_row = (
+                np.zeros(n, dtype=np.int64) if recorder.needs_done else None
+            )
             busy = np.flatnonzero((unit_queues > 0) & (capacities > 0))
             for s in busy:
-                done = servers[s].complete(int(capacities[s]), t, histogram)
+                done = servers[s].complete(int(capacities[s]), t, sink)
                 unit_queues[s] -= done
                 units_out += done
+                if done_row is not None:
+                    done_row[s] = done
 
             sim.policy.end_round(t, unit_queues)
             series.record(int(unit_queues.sum()))
+            recorder.record(t, batch, received_units, done_row, unit_queues)
+            if tee is not None and sink is tee:
+                tee.flush(t)
+        recorder.flush()
 
         return _make_result(
             sim,
             histogram=histogram,
-            queue_series=series,
+            queue_series=probes.queue_series,
             total_jobs=total_jobs,
             total_units_arrived=units_in,
             total_units_departed=units_out,
             final_units_queued=int(unit_queues.sum()),
+            probes=probes.as_dict(),
         )
 
 
@@ -228,8 +267,15 @@ class SizedFastBackend(SizedEngineBackend):
         m = arrivals.num_dispatchers
         store = SizedBatchQueueStore(n)
         unit_queues = np.zeros(n, dtype=np.int64)
-        histogram = ResponseTimeHistogram()
-        series = QueueLengthSeries(rounds_hint=sim.rounds)
+        probes = _probe_set_for(sim)
+        histogram = probes.histogram
+        series = probes.queue_series
+        need_queues = "queues" in probes.fields
+        need_received = "received" in probes.fields
+        need_done_rows = "done" in probes.fields
+        response_sink = (
+            probes.observe_responses if probes.wants_responses else None
+        )
         total_jobs = 0
         units_in = 0
         units_out = 0
@@ -254,6 +300,12 @@ class SizedFastBackend(SizedEngineBackend):
                 )
             capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
             done_block = np.zeros((chunk, n), dtype=np.int64)
+            received_block = (
+                np.zeros((chunk, n), dtype=np.int64) if need_received else None
+            )
+            queue_block = (
+                np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+            )
             job_servers: list[np.ndarray] = []
             job_rounds: list[np.ndarray] = []
             job_sizes: list[np.ndarray] = []
@@ -293,6 +345,8 @@ class SizedFastBackend(SizedEngineBackend):
                     received_units = cell_units.reshape(m, n).sum(axis=0)
                     unit_queues += received_units
                     units_in += int(received_units.sum())
+                    if received_block is not None:
+                        received_block[i] = received_units
                     job_servers.append(np.repeat(cell_server, flat))
                     job_rounds.append(np.full(round_total, t, dtype=np.int64))
                     job_sizes.append(round_sizes)
@@ -306,6 +360,8 @@ class SizedFastBackend(SizedEngineBackend):
 
                 policy.end_round(t, unit_queues)
                 series.record(int(unit_queues.sum()))
+                if queue_block is not None:
+                    queue_block[i] = unit_queues
 
             # Block resolution: jobs are concatenated in (round,
             # dispatcher) admission order; a stable sort by server turns
@@ -320,6 +376,8 @@ class SizedFastBackend(SizedEngineBackend):
                     np.concatenate(job_sizes)[order],
                     done_block,
                     histogram,
+                    sim.warmup,
+                    response_sink=response_sink,
                 )
             else:
                 store.process_block(
@@ -329,14 +387,29 @@ class SizedFastBackend(SizedEngineBackend):
                     _EMPTY_SIZES,
                     done_block,
                     histogram,
+                    sim.warmup,
+                    response_sink=response_sink,
+                )
+            if probes.wants_blocks:
+                fields = probes.fields
+                probes.observe_block(
+                    ProbeBlock(
+                        start_round=chunk_start,
+                        length=chunk,
+                        batch=batch_block if "batch" in fields else None,
+                        received=received_block,
+                        done=done_block if need_done_rows else None,
+                        queues=queue_block,
+                    )
                 )
 
         return _make_result(
             sim,
             histogram=histogram,
-            queue_series=series,
+            queue_series=probes.queue_series,
             total_jobs=total_jobs,
             total_units_arrived=units_in,
             total_units_departed=units_out,
             final_units_queued=int(unit_queues.sum()),
+            probes=probes.as_dict(),
         )

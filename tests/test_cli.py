@@ -115,6 +115,83 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "--systems", "10x2", "--workload", "chaotic"])
 
+    def test_metrics_table(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "scd", "jsq", "--systems", "10x2",
+            "--loads", "0.8", "--rounds", "150", "--backend", "fast",
+            "--metrics", "herding", "server_stats",
+        )
+        assert code == 0
+        assert "Probe metrics (replication-averaged)" in out
+        assert "herding.max_spike" in out
+        assert "server_stats.utilization_mean" in out
+
+    def test_metrics_with_kwargs_and_save(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "jsq", "--systems", "10x2",
+            "--loads", "0.8", "--rounds", "150",
+            "--metrics", "windowed_mean:window=50", "--save", str(path),
+        )
+        assert code == 0
+        assert "windowed_mean[window=50].drift" in out
+        payload = json.loads(path.read_text())
+        assert payload["experiment"]["metrics"] == [
+            {"name": "windowed_mean", "kwargs": {"window": 50}}
+        ]
+
+    def test_metrics_on_sized_workload(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experiment", "--policies", "jsq", "--systems", "10x2",
+            "--loads", "0.8", "--rounds", "150", "--backend", "fast",
+            "--workload", "sized:geom:3", "--metrics", "herding",
+        )
+        assert code == 0
+        assert "herding.max_spike" in out
+
+    def test_bad_metric_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "experiment", "--systems", "10x2", "--metrics", "frobnicator",
+            ])
+
+    def test_bad_metric_params(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "experiment", "--systems", "10x2",
+                "--metrics", "windowed_mean:50",
+            ])
+
+    def test_duplicate_metric_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit, match="duplicate probe"):
+            main([
+                "simulate", "--servers", "4", "--dispatchers", "2",
+                "--rounds", "20", "--metrics", "herding", "herding",
+            ])
+
+    def test_default_collector_in_metrics_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit, match="default collector"):
+            main([
+                "simulate", "--servers", "4", "--dispatchers", "2",
+                "--rounds", "20", "--metrics", "responses",
+            ])
+
+
+class TestProbes:
+    def test_lists_probes_with_default_markers(self, capsys):
+        code, out = run_cli(capsys, "probes")
+        assert code == 0
+        for name in (
+            "responses", "queue_series", "server_stats",
+            "dispatcher_stats", "windowed_mean", "herding",
+        ):
+            assert name in out
+        assert "* responses" in out  # default collectors are marked
+        assert "* queue_series" in out
+
 
 class TestSimulate:
     def test_basic_run(self, capsys):
@@ -126,6 +203,17 @@ class TestSimulate:
         assert code == 0
         assert "mean" in out
         assert "arrived=" in out
+
+    def test_metrics_summary_printed(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--policy", "jsq", "--servers", "10",
+            "--dispatchers", "2", "--rounds", "150",
+            "--metrics", "herding",
+        )
+        assert code == 0
+        assert "probe herding" in out
+        assert "max_spike" in out
 
     def test_save_json(self, capsys, tmp_path):
         path = tmp_path / "run.json"

@@ -85,3 +85,10 @@ def test_sized_jobs():
     out = run_example("sized_jobs.py", "--rounds", "500")
     assert "size-aware" in out
     assert "worth" in out
+
+
+def test_probes_tour():
+    out = run_example("probes_tour.py", "--rounds", "400")
+    assert "utilization / herding" in out
+    assert "scd" in out and "jsq" in out
+    assert "worst spike" in out

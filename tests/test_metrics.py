@@ -147,10 +147,38 @@ class TestQueueSeries:
             series.record(v)
         assert series.tail_to_head_ratio() == pytest.approx(10.0)
 
-    def test_tail_to_head_short_series(self):
+    def test_tail_to_head_short_series_is_nan(self):
+        # Shorter than 8 rounds: no meaningful head/tail split.  (Used
+        # to silently report 1.0 -- a confident-looking "stationary".)
         series = QueueLengthSeries()
         series.record(3)
-        assert series.tail_to_head_ratio() == 1.0
+        assert np.isnan(series.tail_to_head_ratio())
+
+    def test_record_many_matches_record(self):
+        a, b = QueueLengthSeries(rounds_hint=4), QueueLengthSeries(rounds_hint=4)
+        values = [5, 0, 3, 9, 1, 7, 2, 8, 4]
+        for v in values:
+            a.record(v)
+        b.record_many(np.asarray(values))
+        assert np.array_equal(a.values, b.values)
+
+    def test_record_many_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            QueueLengthSeries().record_many(np.zeros((2, 2), dtype=np.int64))
+
+    def test_merge_adds_elementwise(self):
+        a, b = QueueLengthSeries(), QueueLengthSeries()
+        a.record_many(np.array([1, 2, 3]))
+        b.record_many(np.array([10, 20, 30]))
+        a.merge(b)
+        assert a.values.tolist() == [11, 22, 33]
+
+    def test_merge_rejects_length_mismatch(self):
+        a, b = QueueLengthSeries(), QueueLengthSeries()
+        a.record_many(np.array([1, 2, 3]))
+        b.record_many(np.array([1, 2]))
+        with pytest.raises(ValueError, match="same rounds"):
+            a.merge(b)
 
     def test_empty_mean_is_nan(self):
         assert np.isnan(QueueLengthSeries().mean())
