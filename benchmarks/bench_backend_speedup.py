@@ -19,11 +19,18 @@ rounds/sec speedup and the sized kernel a 2x speedup (checked by
 ``--check``; informational otherwise), plus a larger 200x100 point for
 the scaling trajectory.  A probe-overhead cell times the fast kernel
 with the default probe set against every built-in probe attached
-(``--probe-sizes``); ``--check`` also bars that overhead at 15%.
+(``--probe-sizes``); ``--check`` also bars that overhead at 15%.  A
+sharded cell (``--sharded-sizes``, default 200x100) times the sharded
+kernel's serial strategy against the fast kernel it partitions;
+``--check`` bars the serial shard overhead at 25% (a wall-clock
+*speedup* cannot gate in CI -- the container has one CPU -- so the gate
+is that the partition machinery itself stays cheap).  Every cell also
+records the process peak RSS (``ru_maxrss``, a monotone high-water mark
+over the run) so the perf record tracks memory alongside throughput.
 
-Under ``pytest benchmarks`` a single smoke cell per engine runs and
-validates the record's shape without asserting timings (CI boxes are
-too noisy for a gating speedup threshold).
+Under ``pytest benchmarks`` a single smoke cell per engine (sharded
+included) runs and validates the record's shape without asserting
+timings (CI boxes are too noisy for a gating speedup threshold).
 """
 
 from __future__ import annotations
@@ -36,6 +43,11 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
 import numpy as np
 
 import repro
@@ -46,6 +58,7 @@ DEFAULT_POLICIES = ("jsq", "rr", "wr")
 DEFAULT_SIZED_SIZES = ("20x10", "100x50")
 DEFAULT_SIZED_POLICIES = ("jsq", "rr", "wrr")
 DEFAULT_PROBE_SIZES = ("100x50",)
+DEFAULT_SHARDED_SIZES = ("200x100",)
 #: Every built-in probe beyond the default collectors (the worst-case
 #: observability load for the overhead cell).
 ALL_EXTRA_PROBES = ("server_stats", "dispatcher_stats", "windowed_mean", "herding")
@@ -57,11 +70,31 @@ TARGET_SIZE = "100x50"
 #: Acceptance bar: running ALL built-in probes on the fast kernel may
 #: cost at most this fraction over the default probe set.
 PROBE_OVERHEAD_TARGET = 0.15
+#: Acceptance bar: the sharded kernel's *serial* strategy may cost at
+#: most this fraction over the fast kernel it partitions.  (A
+#: wall-clock speedup cannot gate on the 1-CPU CI container; what must
+#: hold everywhere is that the shard machinery itself stays cheap.)
+SHARD_OVERHEAD_TARGET = 0.25
 
 
 def _parse_size(token: str) -> tuple[int, int]:
     n_text, m_text = token.lower().split("x")
     return int(n_text), int(m_text)
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak resident set size in KiB (``ru_maxrss``).
+
+    A monotone high-water mark over the process lifetime: per-cell
+    values record "the largest footprint seen up to and including this
+    cell", so growth between cells attributes added memory while flat
+    values mean the cell fit inside an earlier peak.  ``ru_maxrss`` is
+    KiB on Linux but bytes on macOS; None where unavailable (Windows).
+    """
+    if resource is None:
+        return None
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return peak // 1024 if sys.platform == "darwin" else peak
 
 
 def _build_sim(
@@ -158,6 +191,55 @@ def time_cell(
     # paths are statistically equivalent, so record both means.
     cell["reference_mean_response"] = means["reference"]
     cell["fast_mean_response"] = means["fast"]
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
+def time_sharded_cell(
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+    shards: int = 2,
+) -> dict:
+    """Sharded kernel (serial strategy) against the fast kernel it splits.
+
+    On a single CPU the serial shard loop cannot be *faster* than fast
+    -- it runs the same arithmetic plus the partition machinery -- so
+    the tracked quantity is the overhead fraction, gated by ``--check``
+    at :data:`SHARD_OVERHEAD_TARGET`.
+    """
+    cell: dict = {
+        "engine": "sharded",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "shards": shards,
+        "strategy": "serial",
+    }
+    means = {}
+    for label, backend in (("fast", "fast"), ("sharded", f"sharded:{shards}")):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        means[label] = result.mean_response_time
+        cell[f"{label}_seconds"] = best
+        cell[f"{label}_rounds_per_sec"] = rounds / best
+    cell["shard_overhead_fraction"] = (
+        cell["sharded_seconds"] / cell["fast_seconds"] - 1.0
+    )
+    cell["fast_mean_response"] = means["fast"]
+    cell["sharded_mean_response"] = means["sharded"]
+    cell["peak_rss_kb"] = _peak_rss_kb()
     return cell
 
 
@@ -193,6 +275,7 @@ def time_probe_overhead(
     cell["overhead_fraction"] = (
         cell["all_probes_seconds"] / cell["default_seconds"] - 1.0
     )
+    cell["peak_rss_kb"] = _peak_rss_kb()
     return cell
 
 
@@ -217,6 +300,8 @@ def run_grid(
     sized_policies: tuple[str, ...] = DEFAULT_SIZED_POLICIES,
     mean_size: float = 3.0,
     probe_sizes: tuple[str, ...] = (),
+    sharded_sizes: tuple[str, ...] = (),
+    shards: int = 2,
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -236,6 +321,18 @@ def run_grid(
                     f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
                     f"speedup={cell['speedup']:.2f}x"
                 )
+    shard_overheads = []
+    for token in sharded_sizes:
+        n, m = _parse_size(token)
+        cell = time_sharded_cell("jsq", n, m, rho, rounds, seed, repeats, shards)
+        cells.append(cell)
+        shard_overheads.append(cell["shard_overhead_fraction"])
+        print(
+            f"sharded n={n:4d} m={m:3d} jsq    "
+            f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
+            f"sharded:{shards}={cell['sharded_rounds_per_sec']:9.0f} r/s  "
+            f"overhead={100 * cell['shard_overhead_fraction']:+.1f}%"
+        )
     probe_overheads = []
     for token in probe_sizes:
         n, m = _parse_size(token)
@@ -262,6 +359,8 @@ def run_grid(
             "sized_sizes": list(sized_sizes),
             "sized_policies": list(sized_policies),
             "probe_sizes": list(probe_sizes),
+            "sharded_sizes": list(sharded_sizes),
+            "shards": shards,
             "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
@@ -279,6 +378,11 @@ def run_grid(
             "probe_overhead_fraction": (
                 max(probe_overheads) if probe_overheads else None
             ),
+            "shard_overhead_target": SHARD_OVERHEAD_TARGET,
+            "shard_overhead_fraction": (
+                max(shard_overheads) if shard_overheads else None
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
         },
     }
 
@@ -311,6 +415,20 @@ def main(argv: list[str] | None = None) -> int:
         help="grid points for the probe-overhead cell (default probe set "
         "vs all built-in probes on the fast kernel; empty list skips it)",
     )
+    parser.add_argument(
+        "--sharded-sizes",
+        nargs="*",
+        default=list(DEFAULT_SHARDED_SIZES),
+        metavar="NxM",
+        help="grid points for the sharded cell (sharded serial strategy vs "
+        "the fast kernel; empty list skips it)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the sharded cell",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -321,8 +439,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=f"exit non-zero unless the {TARGET_SIZE} headline speedups "
         f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x "
-        f"(sized) and the all-probes overhead stays under "
-        f"{PROBE_OVERHEAD_TARGET:.0%}",
+        f"(sized), the all-probes overhead stays under "
+        f"{PROBE_OVERHEAD_TARGET:.0%}, and the serial shard overhead "
+        f"stays under {SHARD_OVERHEAD_TARGET:.0%}",
     )
     args = parser.parse_args(argv)
 
@@ -337,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         sized_policies=tuple(args.sized_policies),
         mean_size=args.mean_size,
         probe_sizes=tuple(args.probe_sizes),
+        sharded_sizes=tuple(args.sharded_sizes),
+        shards=args.shards,
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -364,21 +485,27 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         else:
             print(f"OK ({label}): {best:.2f}x >= {target}x")
-    overhead = record["headline"]["probe_overhead_fraction"]
-    if overhead is not None:
-        print(f"headline (probes): worst overhead {100 * overhead:+.1f}%")
+    for label, overhead, target in (
+        ("probes", record["headline"]["probe_overhead_fraction"], PROBE_OVERHEAD_TARGET),
+        ("sharded", record["headline"]["shard_overhead_fraction"], SHARD_OVERHEAD_TARGET),
+    ):
+        if overhead is None:
+            continue
+        print(f"headline ({label}): worst overhead {100 * overhead:+.1f}%")
         if args.check:
-            if overhead > PROBE_OVERHEAD_TARGET:
+            if overhead > target:
                 print(
-                    f"FAIL (probes): {100 * overhead:.1f}% > "
-                    f"{100 * PROBE_OVERHEAD_TARGET:.0f}%"
+                    f"FAIL ({label}): {100 * overhead:.1f}% > "
+                    f"{100 * target:.0f}%"
                 )
                 failures += 1
             else:
                 print(
-                    f"OK (probes): {100 * overhead:.1f}% <= "
-                    f"{100 * PROBE_OVERHEAD_TARGET:.0f}%"
+                    f"OK ({label}): {100 * overhead:.1f}% <= "
+                    f"{100 * target:.0f}%"
                 )
+    if record["headline"]["peak_rss_kb"] is not None:
+        print(f"peak RSS: {record['headline']['peak_rss_kb']} KiB")
     if misconfigured:
         return 2
     return 1 if failures else 0
@@ -389,24 +516,36 @@ def test_backend_speedup_record(tmp_path):
     record = run_grid(
         ("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1,
         sized_sizes=("10x4",), sized_policies=("jsq",),
-        probe_sizes=("10x4",),
+        probe_sizes=("10x4",), sharded_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    unsized, sized, probes = loaded["cells"]
+    unsized, sized, sharded, probes = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
         assert cell["reference_rounds_per_sec"] > 0
         assert cell["fast_rounds_per_sec"] > 0
         # jsq is deterministic: both backends simulate the identical run.
         assert cell["reference_mean_response"] == cell["fast_mean_response"]
+    assert sharded["engine"] == "sharded"
+    assert sharded["shards"] == 2 and sharded["strategy"] == "serial"
+    assert sharded["sharded_rounds_per_sec"] > 0
+    # Sharding is bit-exact vs fast for the deterministic jsq cell.
+    assert sharded["fast_mean_response"] == sharded["sharded_mean_response"]
     assert probes["engine"] == "probe_overhead"
     assert probes["probes"] == list(ALL_EXTRA_PROBES)
     assert probes["default_rounds_per_sec"] > 0
     assert probes["all_probes_rounds_per_sec"] > 0
     assert loaded["headline"]["probe_overhead_fraction"] is not None
+    assert loaded["headline"]["shard_overhead_fraction"] is not None
+    peaks = [cell["peak_rss_kb"] for cell in loaded["cells"]]
+    if loaded["headline"]["peak_rss_kb"] is not None:  # no ru_maxrss on Windows
+        assert all(peak > 0 for peak in peaks)
+        assert loaded["headline"]["peak_rss_kb"] >= max(peaks)
+    else:
+        assert all(peak is None for peak in peaks)
 
 
 if __name__ == "__main__":

@@ -151,6 +151,7 @@ from .sim.probes import (
 )
 from .sim.seeding import derive_seed, spawn_streams
 from .sim.server import ServerQueue
+from .sim.sharding import ShardedBackend, ShardPlan, SizedShardedBackend
 from .sim.sized import (
     BimodalSize,
     DeterministicSize,
@@ -258,6 +259,9 @@ __all__ = [
     "make_sized_backend",
     "available_sized_backends",
     "sized_backend_descriptions",
+    "ShardPlan",
+    "ShardedBackend",
+    "SizedShardedBackend",
     "BatchQueueStore",
     "SizedBatchQueueStore",
     "ServerQueue",

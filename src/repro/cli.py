@@ -28,6 +28,7 @@ Examples
     repro experiment --policies scd sed --workload skew:3 --loads 0.9
     repro experiment --policies jsq rr wr --backend fast --rounds 100000
     repro experiment --policies jsq sed --workload sized:geom:4 --backend fast
+    repro experiment --policies jsq sed --backend sharded:4 --rounds 100000
     repro experiment --policies scd jsq --metrics herding server_stats \
         windowed_mean:window=500
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
@@ -60,13 +61,10 @@ from repro.analysis.stability import assess_stability
 from repro.analysis.tables import format_series_table, format_table
 from repro.core.theory import strong_stability_bound
 from repro.policies.base import available_policies
-from repro.sim.backends import available_backends, backend_descriptions
+from repro.sim.backends import backend_descriptions, make_backend
 from repro.sim.probes import DEFAULT_PROBE_LABELS, ProbeSpec, probe_descriptions
 from repro.sim.sized import BimodalSize, DeterministicSize, GeometricSize
-from repro.sim.sizedbackends import (
-    available_sized_backends,
-    sized_backend_descriptions,
-)
+from repro.sim.sizedbackends import sized_backend_descriptions
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = ["main", "build_parser"]
@@ -319,6 +317,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     system = _system_from(args)
+    try:
+        # Fail now with the registry's own error (unknown names, bad
+        # shard parameters), not mid-run.
+        make_backend(args.backend)
+    except ValueError as error:
+        raise SystemExit(f"invalid backend: {error}")
     result = run_simulation(args.policy, system, args.rho, _config_from(args))
     summary = result.summary()
     print(
@@ -485,12 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="reference",
-        choices=sorted(set(available_backends()) | set(available_sized_backends())),
-        help="engine round kernel: 'reference' (bit-exact default) or "
+        metavar="BACKEND",
+        help="engine round kernel: 'reference' (bit-exact default), "
         "'fast' (vectorized; bit-identical for deterministic policies, "
-        "statistically equivalent for stochastic ones); sized workloads "
-        "resolve the name in the sized-engine registry; see "
-        "`repro backends`",
+        "statistically equivalent for stochastic ones), or "
+        "'sharded[:N[:serial|process]]' (server-partitioned fast kernel); "
+        "sized workloads resolve the name in the sized-engine registry; "
+        "see `repro backends`",
     )
     p.add_argument(
         "--metrics",
@@ -518,8 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="reference",
-        choices=available_backends(),
-        help="engine round kernel (see `repro backends`)",
+        metavar="BACKEND",
+        help="engine round kernel, e.g. reference, fast or sharded:4 "
+        "(see `repro backends`)",
     )
     p.add_argument(
         "--metrics",

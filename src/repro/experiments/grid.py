@@ -140,7 +140,8 @@ class Experiment:
     #: Engine-backend registry name every cell runs on.  Unsized cells
     #: resolve it in :mod:`repro.sim.backends`, sized cells in
     #: :mod:`repro.sim.sizedbackends`; ``"reference"`` is the bit-exact
-    #: default, ``"fast"`` the vectorized kernel in both registries.
+    #: default, ``"fast"`` the vectorized kernel and ``"sharded:N"``
+    #: the server-partitioned kernel in both registries.
     backend: str = "reference"
     #: Extra observability probes run in every cell (registry names or
     #: :class:`~repro.sim.probes.ProbeSpec`); their summaries land in

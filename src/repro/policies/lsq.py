@@ -18,6 +18,14 @@ LSQ's native model processes one job per time slot and samples one server
 per job; a round here batches ``a_d`` jobs, so the faithful adaptation
 samples ``ceil(samples_per_job * a_d)`` servers per dispatcher per round
 (default one sample per job, the classic LSQ budget).
+
+The sampled refreshes are vectorized across dispatchers: one RNG draw
+per round covers every dispatcher's budget (numpy fills draws element by
+element, so the realization -- and the stream position -- is exactly the
+per-dispatcher loop's), and one fancy assignment applies all refreshes.
+Together with the native :meth:`LSQPolicy.dispatch_round` this is the
+batch-protocol path on the fast kernels, bit-identical to the
+per-dispatcher fallback it replaces.
 """
 
 from __future__ import annotations
@@ -70,6 +78,25 @@ class LSQPolicy(Policy):
         self._batch_sizes[dispatcher] = num_jobs
         return counts
 
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """Native batch protocol, bit-identical to the fallback.
+
+        Each dispatcher ranks against its *own* local estimate array --
+        sequential per-dispatcher state -- so the greedy itself cannot
+        fuse across dispatchers; the win of going native is pairing
+        with the vectorized :meth:`end_round` refresh (one RNG draw per
+        round instead of one per dispatcher) while skipping the empty
+        batches up front.
+        """
+        assert self.ctx is not None, "policy used before bind()"
+        rows = np.zeros(
+            (self.ctx.num_dispatchers, self.ctx.num_servers), dtype=np.int64
+        )
+        batch = np.asarray(batch, dtype=np.int64)
+        for d in np.flatnonzero(batch):
+            rows[d] = self.dispatch(int(d), int(batch[d]))
+        return rows
+
     def _sample_servers(self, count: int) -> np.ndarray:
         n = self.ctx.num_servers
         if self._sampling_cdf is None:
@@ -77,13 +104,24 @@ class LSQPolicy(Policy):
         return np.searchsorted(self._sampling_cdf, self.rng.random(count))
 
     def end_round(self, round_index: int, queues: np.ndarray) -> None:
-        for d in range(self.ctx.num_dispatchers):
-            batch = int(self._batch_sizes[d])
-            if batch == 0:
-                continue
-            budget = max(1, int(np.ceil(self.samples_per_job * batch)))
-            sampled = self._sample_servers(budget)
-            self._local[d, sampled] = queues[sampled]
+        # One draw covers every active dispatcher's sampling budget.
+        # numpy fills random output element by element, so the single
+        # draw realizes exactly the per-dispatcher draws it replaces
+        # (bit-identical stream consumption, dispatcher order).
+        active = np.flatnonzero(self._batch_sizes)
+        if active.size == 0:
+            return
+        budgets = np.maximum(
+            1,
+            np.ceil(self.samples_per_job * self._batch_sizes[active]).astype(
+                np.int64
+            ),
+        )
+        sampled = self._sample_servers(int(budgets.sum()))
+        rows = np.repeat(active, budgets)
+        # Duplicate (dispatcher, server) pairs all write queues[server]:
+        # order inside the fancy assignment cannot matter.
+        self._local[rows, sampled] = queues[sampled]
 
 
 @register_policy("lsq")

@@ -66,14 +66,31 @@ class BackendRegistry(Generic[T]):
         return self.factory(spec)(**kwargs)
 
     def factory(self, name: str) -> Callable[..., T]:
-        """The factory registered under ``name`` (same error as ``make``)."""
+        """The factory registered under ``name`` (same error as ``make``).
+
+        Names may carry a ``:``-separated parameter suffix
+        (``"sharded:4"``): the head resolves the registered class and
+        the remainder goes to its ``from_param`` classmethod, so
+        parameterized backends stay plain strings everywhere names
+        travel (configs, persistence, the CLI).  Heads without a
+        ``from_param`` reject parameters.
+        """
         key = name.lower()
-        if key not in self._factories:
-            known = ", ".join(sorted(self._factories))
-            raise ValueError(
-                f"unknown {self._kind} {name!r}; known {self._plural}: {known}"
-            )
-        return self._factories[key]
+        if key in self._factories:
+            return self._factories[key]
+        head, sep, param = key.partition(":")
+        if sep and head in self._factories:
+            cls = self._factories[head]
+            from_param = getattr(cls, "from_param", None)
+            if from_param is None:
+                raise ValueError(
+                    f"{self._kind} {head!r} takes no ':' parameters (got {name!r})"
+                )
+            return lambda **kwargs: from_param(param, **kwargs)
+        known = ", ".join(sorted(self._factories))
+        raise ValueError(
+            f"unknown {self._kind} {name!r}; known {self._plural}: {known}"
+        )
 
     def available(self) -> list[str]:
         """Names accepted by :meth:`make`, sorted."""

@@ -21,10 +21,17 @@ the model and its implementations:
     fallback; statistically equivalent for policies with native batched
     sampling (they consume their RNG stream in different-sized gulps).
 
+``sharded``
+    The server-partitioned kernel (:mod:`repro.sim.sharding`): the fast
+    round loop with departures resolved by per-shard batch stores and
+    partitionable probes folded at end of run.  Parameterized through
+    the name (``sharded:4``, ``sharded:4:process``); bit-identical to
+    ``fast`` for deterministic policies at every shard count.
+
 Backends are registered by name (mirroring the policy registry) so
 experiments and the CLI can select them as plain strings; future scaling
-work (sharded kernels, async round pipelines, compiled kernels) plugs in
-as additional registrations without touching the engine.
+work (async round pipelines, compiled kernels) plugs in as additional
+registrations without touching the engine.
 """
 
 from __future__ import annotations
@@ -355,3 +362,9 @@ class FastBackend(EngineBackend):
             server_departed=server_departed,
             probes=probes.as_dict(),
         )
+
+
+# The sharded kernel registers itself in this registry (and the sized
+# one) on import; keep this at the bottom so the registry machinery
+# above exists when it does.
+from . import sharding  # noqa: E402,F401  (registration side effect)

@@ -57,9 +57,11 @@ class SimulationConfig:
         stability diagnostics).
     backend:
         Engine-backend registry name (see :mod:`repro.sim.backends`).
-        ``"reference"`` is the original bit-exact loop; ``"fast"`` is the
-        vectorized round kernel.  Resolved when :meth:`Simulation.run` is
-        called, so unknown names fail with the list of known backends.
+        ``"reference"`` is the original bit-exact loop; ``"fast"`` is
+        the vectorized round kernel; ``"sharded:N"`` is the
+        server-partitioned kernel (:mod:`repro.sim.sharding`).
+        Resolved when :meth:`Simulation.run` is called, so unknown
+        names fail with the list of known backends.
     probes:
         Extra observability probes for this run, as registry names or
         :class:`~repro.sim.probes.ProbeSpec` objects (see

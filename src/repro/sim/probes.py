@@ -12,9 +12,11 @@ registry-backed axis instead:
   arrival counts, per-server admissions, completions and end-of-round
   queue snapshots, plus (for probes that ask) the recorded response
   times stamped with their departure rounds.  Probes are mergeable
-  (:meth:`Probe.merge`) and serializable (:meth:`Probe.state_dict` /
-  :meth:`Probe.from_state`), which is what sharded kernels and JSON
-  persistence need.
+  (:meth:`Probe.merge` across replications/time shards,
+  :meth:`Probe.merge_partition` across the server shards of one
+  simulation) and serializable (:meth:`Probe.state_dict` /
+  :meth:`Probe.from_state`), which is what the sharded kernels
+  (:mod:`repro.sim.sharding`) and JSON persistence need.
 * A registry (:func:`register_probe` / :func:`make_probe`) mirrors the
   policy and backend registries, so experiments and the CLI select
   probes as plain strings; :class:`ProbeSpec` freezes a name plus
@@ -148,6 +150,16 @@ class Probe(ABC):
     fields: frozenset[str] = PROBE_FIELDS
     #: True to receive recorded response times via ``observe_responses``.
     wants_responses: bool = False
+    #: True when this probe's state may be accumulated *per server
+    #: shard* -- each copy seeing only its own servers' columns of the
+    #: block arrays (and only its servers' response events) -- and
+    #: folded back into the global statistics with
+    #: :meth:`merge_partition`.  The sharded kernels
+    #: (:mod:`repro.sim.sharding`) replicate partitionable probes into
+    #: every shard; non-partitionable probes are instead fed the full
+    #: global block stream by the shard coordinator, which keeps naive
+    #: custom probes (the ``False`` default) correct under sharding.
+    partitionable: bool = False
 
     def __init__(self) -> None:
         self.ctx: ProbeContext | None = None
@@ -207,6 +219,22 @@ class Probe(ABC):
         *server shards of one simulation* -- each probe's ``merge``
         docstring states which, and incompatible shapes raise.
         """
+
+    def merge_partition(self, other: "Probe") -> None:
+        """Fold in a *server shard* of the same simulation.
+
+        The shard-fold operation of the sharded kernels: ``other``
+        observed a disjoint, contiguous slice of the server pool over
+        the *same rounds* as ``self``.  It differs from :meth:`merge`
+        only for probes whose state carries a per-server axis -- there
+        the shards' arrays concatenate (in shard = server order, so
+        fold shards left to right) instead of adding.  The default
+        falls back to :meth:`merge`, which is correct whenever merging
+        pools disjoint event multisets (``responses``,
+        ``windowed_mean``) or adds parallel per-round series
+        (``queue_series``).
+        """
+        self.merge(other)
 
     def probe_kwargs(self) -> dict:
         """Constructor kwargs needed to rebuild this probe (JSON-able)."""
@@ -578,6 +606,9 @@ class ResponseTimeProbe(Probe):
         "always on"
     )
     fields = frozenset()
+    #: Response records partition by the server that served the job, so
+    #: the additive merge is also the correct shard fold.
+    partitionable = True
 
     def __init__(self, histogram: ResponseTimeHistogram | None = None) -> None:
         super().__init__()
@@ -626,6 +657,8 @@ class QueueSeriesProbe(Probe):
         "on unless track_queue_series=False"
     )
     fields = frozenset()
+    #: ``merge`` already is the element-wise server-shard addition.
+    partitionable = True
 
     def __init__(self, series: QueueLengthSeries | None = None) -> None:
         super().__init__()
@@ -682,6 +715,10 @@ class ServerStatsProbe(Probe):
         "(heterogeneity diagnostics)"
     )
     fields = frozenset({"received", "done", "queues"})
+    #: All state is server-indexed (plus a pooled histogram), so shards
+    #: accumulate their own slices and :meth:`merge_partition`
+    #: concatenates them back into the global per-server arrays.
+    partitionable = True
 
     #: Queue lengths at or above this land in the histogram's overflow
     #: bucket (the last entry).  Bounds memory and JSON size on
@@ -792,6 +829,30 @@ class ServerStatsProbe(Probe):
         self._queue_sum += other._queue_sum
         np.maximum(self._max_queue, other._max_queue, out=self._max_queue)
         self._idle += other._idle
+        self._merge_queue_hist(other)
+
+    def merge_partition(self, other: "Probe") -> None:
+        """Fold in the next *server shard*: the per-server arrays
+        concatenate (shards fold left to right, so shard order is
+        server order), the pooled (server, round) queue histogram adds,
+        and the round count -- identical across shards -- is kept."""
+        self._check_merge(other)
+        if self._received is None or other._received is None:
+            raise ValueError("cannot merge unbound server_stats probes")
+        if self._rounds != other._rounds:
+            raise ValueError(
+                "server shards of one simulation must cover the same rounds; "
+                f"got {self._rounds} vs {other._rounds}"
+            )
+        self._rates = np.concatenate([self._rates, other._rates])
+        self._received = np.concatenate([self._received, other._received])
+        self._done = np.concatenate([self._done, other._done])
+        self._queue_sum = np.concatenate([self._queue_sum, other._queue_sum])
+        self._max_queue = np.concatenate([self._max_queue, other._max_queue])
+        self._idle = np.concatenate([self._idle, other._idle])
+        self._merge_queue_hist(other)
+
+    def _merge_queue_hist(self, other: "ServerStatsProbe") -> None:
         if other._queue_hist.size > self._queue_hist.size:
             grown = np.zeros(other._queue_hist.size, dtype=np.int64)
             grown[: self._queue_hist.size] = self._queue_hist
@@ -933,6 +994,9 @@ class WindowedMeanProbe(Probe):
     )
     fields = frozenset()
     wants_responses = True
+    #: Window sums pool disjoint response sets, so the additive merge is
+    #: also the correct shard fold.
+    partitionable = True
 
     def __init__(self, window: int = 1000) -> None:
         super().__init__()

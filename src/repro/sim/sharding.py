@@ -1,0 +1,955 @@
+"""Sharded round kernels: one simulation across server-partitioned stores.
+
+The fast kernels (:mod:`repro.sim.backends`, :mod:`repro.sim.sizedbackends`)
+already split each round into a *dispatch* phase that needs only the
+per-server queue totals and a *departure-resolution* phase
+(``BatchQueueStore.process_block``) that is embarrassingly parallel
+across servers.  This module exploits that split: the server axis is
+partitioned into contiguous **shards**, each owning an independent batch
+store and its own probe set, while a coordinator runs the round loop --
+sampling the workload, dispatching against the **full global queue
+view**, and exchanging per-round queue-length vectors -- exactly as the
+fast kernel does.  Once per 256-round block the coordinator hands every
+shard its slice of the admission/completion matrices; shards resolve
+FIFO departures, record response times into their own histograms, and
+reconstruct their queue slices independently.  End of run, shard probe
+states fold back into global statistics via
+:meth:`repro.sim.probes.Probe.merge_partition` (per-server arrays
+concatenate, event multisets add).
+
+Because all randomness and all policy decisions live in the coordinator,
+the sharded kernels are **bit-identical to "fast"** for deterministic
+policies at every shard count -- the partition changes where work is
+resolved, never what happens.
+
+Two execution strategies sit behind one shard-plan abstraction:
+
+``serial``
+    The deterministic in-process loop: shard workers are plain objects
+    fed synchronously.  Zero IPC, runs anywhere (the 1-CPU CI
+    container included), and the bit-identity reference for the
+    process strategy.
+
+``process``
+    One worker process per shard, fed blocks over pipes (the same
+    seed-stable pattern as :mod:`repro.experiments.executor`: workers
+    hold no RNG, so scheduling cannot perturb results).  Departure
+    resolution and probe accumulation overlap with the coordinator's
+    dispatch loop; probe states return as ``state_dict`` payloads and
+    fold exactly like the serial strategy's.
+
+Probe routing: probes with ``partitionable = True`` (the default
+collectors, ``server_stats``, ``windowed_mean``) replicate into every
+shard and fold via ``merge_partition``; everything else -- e.g.
+``dispatcher_stats``, ``herding``, and custom probes -- is fed the full
+global block stream by the coordinator, unchanged from the fast kernel.
+Response-event probes must be partitionable (the events exist only
+inside the shards).
+
+Both kernels register as ``"sharded"`` in their engine's registry and
+parameterize through the name itself: ``sharded`` (2 shards, serial),
+``sharded:4``, ``sharded:4:process``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .backends import _CHUNK_ROUNDS, EngineBackend, register_backend
+from .batchstore import BatchQueueStore, SizedBatchQueueStore
+from .probes import (
+    Probe,
+    ProbeBlock,
+    ProbeContext,
+    ProbeSet,
+    ProbeSpec,
+    QueueSeriesProbe,
+    ResponseTimeProbe,
+    probe_from_state,
+)
+from .sizedbackends import SizedEngineBackend, register_sized_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulation, SimulationResult
+    from .sized import SizedSimulation, SizedSimulationResult
+
+__all__ = [
+    "ShardPlan",
+    "ShardInit",
+    "ShardWorker",
+    "ShardStrategy",
+    "SerialShardStrategy",
+    "MultiprocessShardStrategy",
+    "ShardedBackend",
+    "SizedShardedBackend",
+    "split_probe_specs",
+]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of the server axis into contiguous, non-empty shards.
+
+    ``bounds`` is the prefix form ``(0, n_1, ..., n)``: shard ``i`` owns
+    the half-open server range ``[bounds[i], bounds[i+1])``.  Contiguity
+    is what makes the fold order-preserving: concatenating shard arrays
+    left to right restores the global server order.
+    """
+
+    bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) < 2 or self.bounds[0] != 0:
+            raise ValueError("bounds must start at 0 and define >= 1 shard")
+        if any(hi <= lo for lo, hi in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("shard bounds must be strictly increasing")
+
+    @classmethod
+    def balanced(cls, num_servers: int, shards: int) -> "ShardPlan":
+        """Near-equal contiguous split; the shard count is clamped to
+        the server count so every shard owns at least one server."""
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        shards = min(int(shards), int(num_servers))
+        sizes = np.full(shards, num_servers // shards, dtype=np.int64)
+        sizes[: num_servers % shards] += 1
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        return cls(bounds=tuple(int(x) for x in bounds))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_servers(self) -> int:
+        return self.bounds[-1]
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """Per-shard ``(lo, hi)`` server ranges, in shard order."""
+        return list(zip(self.bounds, self.bounds[1:]))
+
+
+@dataclass(frozen=True)
+class ShardInit:
+    """Everything a shard worker needs, picklable for the process strategy.
+
+    ``rates`` is the shard's own slice of the rate vector;  ``start`` is
+    the global index of its first server (diagnostics only -- workers
+    operate entirely in shard-local server coordinates).
+    """
+
+    index: int
+    start: int
+    rates: np.ndarray
+    num_dispatchers: int
+    rounds: int
+    warmup: int
+    sized: bool
+    track_queue_series: bool
+    probe_specs: tuple[ProbeSpec, ...]
+
+    def probe_labels(self) -> tuple[str, ...]:
+        """Labels of the worker's probes, in construction order."""
+        labels = ["responses"]
+        if self.track_queue_series:
+            labels.append("queue_series")
+        labels.extend(spec.label for spec in self.probe_specs)
+        return tuple(labels)
+
+
+class ShardWorker:
+    """One shard's private state: a batch store plus a bound probe set.
+
+    The same object serves both strategies -- the serial strategy calls
+    it in-process, the process strategy hosts it in a child process.
+    Workers see only shard-local arrays: ``received``/``done`` slices of
+    the coordinator's block matrices (and, sized, the shard's jobs in
+    local server coordinates).  Queue slices are reconstructed here from
+    those deltas, so the per-block exchange stays minimal.
+    """
+
+    def __init__(self, init: ShardInit) -> None:
+        n = int(init.rates.size)
+        ctx = ProbeContext(
+            num_servers=n,
+            num_dispatchers=init.num_dispatchers,
+            rates=init.rates,
+            rounds=init.rounds,
+            warmup=init.warmup,
+            sized=init.sized,
+        )
+        pairs: list[tuple[str, Probe]] = [("responses", ResponseTimeProbe())]
+        if init.track_queue_series:
+            pairs.append(("queue_series", QueueSeriesProbe()))
+        for spec in init.probe_specs:
+            pairs.append((spec.label, spec.build()))
+        self.sized = init.sized
+        self.warmup = init.warmup
+        self.probes = ProbeSet(pairs, ctx)
+        self.store = SizedBatchQueueStore(n) if init.sized else BatchQueueStore(n)
+        self.queues = np.zeros(n, dtype=np.int64)
+        self._sink = (
+            self.probes.observe_responses if self.probes.wants_responses else None
+        )
+
+    def _advance_queues(self, received: np.ndarray, done: np.ndarray) -> np.ndarray:
+        """Replay the block's queue dynamics for this shard's slice."""
+        queue_block = np.cumsum(received - done, axis=0)
+        queue_block += self.queues
+        self.queues = queue_block[-1].copy()
+        series = self.probes.queue_series
+        if series is not None:
+            series.record_many(queue_block.sum(axis=1))
+        return queue_block
+
+    def process_block(
+        self, start_round: int, received: np.ndarray, done: np.ndarray
+    ) -> None:
+        """Unsized: resolve one block of this shard's FIFO departures."""
+        queue_block = self._advance_queues(received, done)
+        self.store.process_block(
+            start_round,
+            received,
+            done,
+            self.probes.histogram,
+            self.warmup,
+            response_sink=self._sink,
+        )
+        self._observe(start_round, received, done, queue_block)
+
+    def process_sized_block(
+        self,
+        start_round: int,
+        received: np.ndarray,
+        done: np.ndarray,
+        job_servers: np.ndarray,
+        job_rounds: np.ndarray,
+        job_sizes: np.ndarray,
+    ) -> None:
+        """Sized: jobs arrive server-major in shard-local coordinates."""
+        queue_block = self._advance_queues(received, done)
+        self.store.process_block(
+            start_round,
+            job_servers,
+            job_rounds,
+            job_sizes,
+            done,
+            self.probes.histogram,
+            self.warmup,
+            response_sink=self._sink,
+        )
+        self._observe(start_round, received, done, queue_block)
+
+    def _observe(
+        self,
+        start_round: int,
+        received: np.ndarray,
+        done: np.ndarray,
+        queue_block: np.ndarray,
+    ) -> None:
+        if not self.probes.wants_blocks:
+            return
+        fields = self.probes.fields
+        self.probes.observe_block(
+            ProbeBlock(
+                start_round=start_round,
+                length=received.shape[0],
+                batch=None,  # dispatcher axis; partitionable probes never ask
+                received=received if "received" in fields else None,
+                done=done if "done" in fields else None,
+                queues=queue_block if "queues" in fields else None,
+            )
+        )
+
+    def probe_states(self) -> list[dict]:
+        """``state_dict`` of every probe, in :meth:`ShardInit.probe_labels` order."""
+        return [probe.state_dict() for probe in self.probes.as_dict().values()]
+
+
+def split_probe_specs(
+    specs: Sequence["str | ProbeSpec"],
+) -> tuple[tuple[ProbeSpec, ...], tuple[ProbeSpec, ...]]:
+    """Route each extra probe to the shards or the coordinator.
+
+    Returns ``(shard_specs, coordinator_specs)``.  A probe rides inside
+    the shards iff its class opts in via ``Probe.partitionable`` (its
+    state then folds through ``merge_partition``); everything else runs
+    in the coordinator against the full global block stream, exactly as
+    on the fast kernel.  Two shapes cannot work and raise here:
+    partitionable probes reading the ``batch`` field (it has no server
+    axis to slice) and non-partitionable probes wanting response events
+    (those exist only inside the shards).
+    """
+    shard_specs: list[ProbeSpec] = []
+    coordinator_specs: list[ProbeSpec] = []
+    for spec in specs:
+        spec = ProbeSpec.of(spec)
+        prototype = spec.build()
+        if prototype.partitionable:
+            if "batch" in prototype.fields:
+                raise ValueError(
+                    f"probe {spec.label!r} is partitionable but reads the "
+                    f"'batch' block field, which has no server axis to "
+                    f"partition across shards"
+                )
+            shard_specs.append(spec)
+        elif prototype.wants_responses:
+            raise ValueError(
+                f"probe {spec.label!r} wants response events but is not "
+                f"partitionable; on the sharded backend response events are "
+                f"recorded inside the shards, so such probes must define a "
+                f"partition-safe merge and set partitionable = True"
+            )
+        else:
+            coordinator_specs.append(spec)
+    return tuple(shard_specs), tuple(coordinator_specs)
+
+
+# ---------------------------------------------------------------------------
+# Execution strategies.
+# ---------------------------------------------------------------------------
+
+
+class ShardStrategy(ABC):
+    """Where shard workers live and how the per-block exchange reaches them."""
+
+    #: Parameter name, e.g. ``"serial"`` in ``sharded:4:serial``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def start(self, inits: Sequence[ShardInit]) -> None:
+        """Materialize one worker per :class:`ShardInit`."""
+
+    @abstractmethod
+    def feed(self, shard: int, payload: tuple) -> None:
+        """Hand one block's shard-local arrays to a worker.
+
+        ``payload`` is the positional argument tuple of
+        :meth:`ShardWorker.process_block` (unsized) or
+        :meth:`ShardWorker.process_sized_block` (sized).
+        """
+
+    @abstractmethod
+    def finish(self) -> list[dict[str, Probe]]:
+        """Collect every shard's probes as label -> probe maps."""
+
+    def close(self) -> None:
+        """Release workers (idempotent; called on success and failure)."""
+
+
+class SerialShardStrategy(ShardStrategy):
+    """In-process shard loop: deterministic, zero IPC.
+
+    The strategy the 1-CPU CI container exercises, and the reference
+    the process strategy must reproduce exactly (workers run identical
+    integer arithmetic either way).
+    """
+
+    name = "serial"
+
+    def start(self, inits: Sequence[ShardInit]) -> None:
+        self._workers = [ShardWorker(init) for init in inits]
+
+    def feed(self, shard: int, payload: tuple) -> None:
+        worker = self._workers[shard]
+        if worker.sized:
+            worker.process_sized_block(*payload)
+        else:
+            worker.process_block(*payload)
+
+    def finish(self) -> list[dict[str, Probe]]:
+        return [worker.probes.as_dict() for worker in self._workers]
+
+
+def _shard_worker_main(conn, init: ShardInit) -> None:
+    """Child-process loop of the process strategy (module-level: picklable)."""
+    try:
+        worker = ShardWorker(init)
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "block":
+                if worker.sized:
+                    worker.process_sized_block(*message[1:])
+                else:
+                    worker.process_block(*message[1:])
+            elif kind == "finish":
+                conn.send(("done", worker.probe_states()))
+                return
+            else:  # pragma: no cover - defensive; parent sends only the above
+                raise RuntimeError(f"unknown shard message {kind!r}")
+    except EOFError:  # pragma: no cover - parent died; nothing to report to
+        pass
+    except BaseException as error:
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+class MultiprocessShardStrategy(ShardStrategy):
+    """One worker process per shard, fed blocks over pipes.
+
+    Seed-stable by the same construction as the experiment executor's
+    process pool: workers hold no RNG and no policy state -- every
+    random draw and every dispatch decision happens in the coordinator
+    -- so scheduling and interleaving cannot perturb any result; the
+    probe states that come back are the ones the serial strategy
+    produces, moved through ``state_dict`` (exact integer payloads).
+    Pipes apply natural backpressure: the coordinator runs ahead of the
+    shards by at most the OS pipe buffer.
+    """
+
+    name = "process"
+
+    def start(self, inits: Sequence[ShardInit]) -> None:
+        context = multiprocessing.get_context()
+        self._inits = list(inits)
+        self._conns = []
+        self._processes = []
+        for init in inits:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main, args=(child_conn, init), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+
+    def feed(self, shard: int, payload: tuple) -> None:
+        try:
+            self._conns[shard].send(("block",) + payload)
+        except (BrokenPipeError, OSError):
+            self._raise_shard_failure(shard)
+
+    def finish(self) -> list[dict[str, Probe]]:
+        shard_maps: list[dict[str, Probe]] = []
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(("finish",))
+                kind, payload = conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                self._raise_shard_failure(shard)
+            if kind == "error":
+                raise RuntimeError(f"shard {shard} failed: {payload}")
+            labels = self._inits[shard].probe_labels()
+            shard_maps.append(
+                {
+                    label: probe_from_state(state)
+                    for label, state in zip(labels, payload)
+                }
+            )
+        return shard_maps
+
+    def _raise_shard_failure(self, shard: int) -> None:
+        detail = ""
+        try:
+            if self._conns[shard].poll(1.0):
+                kind, payload = self._conns[shard].recv()
+                if kind == "error":
+                    detail = f": {payload}"
+        except (EOFError, OSError):
+            pass
+        raise RuntimeError(f"shard {shard} worker died{detail}")
+
+    def close(self) -> None:
+        for conn in getattr(self, "_conns", ()):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for process in getattr(self, "_processes", ()):
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        self._conns = []
+        self._processes = []
+
+
+_STRATEGIES = {
+    SerialShardStrategy.name: SerialShardStrategy,
+    MultiprocessShardStrategy.name: MultiprocessShardStrategy,
+}
+
+
+def _fold_shards(shard_maps: list[dict[str, Probe]]) -> dict[str, Probe]:
+    """Fold shard probe maps left to right via ``merge_partition``."""
+    first, *rest = shard_maps
+    for other in rest:
+        for label, probe in first.items():
+            probe.merge_partition(other[label])
+    return first
+
+
+# ---------------------------------------------------------------------------
+# The sharded kernels.
+# ---------------------------------------------------------------------------
+
+
+class _ShardedParams:
+    """Shared constructor / registry-parameter parsing of both kernels."""
+
+    def __init__(self, shards: int = 2, strategy: str = "serial") -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        if strategy not in _STRATEGIES:
+            known = ", ".join(sorted(_STRATEGIES))
+            raise ValueError(
+                f"unknown shard strategy {strategy!r}; known strategies: {known}"
+            )
+        self.shards = shards
+        self.strategy = strategy
+
+    @classmethod
+    def from_param(cls, param: str):
+        """Registry-name parameters: ``"4"`` or ``"4:process"``."""
+        count, _, strategy = param.partition(":")
+        try:
+            shards = int(count)
+        except ValueError:
+            raise ValueError(
+                f"invalid shard count {count!r}; parameterize as "
+                f"'sharded:N' or 'sharded:N:serial|process'"
+            ) from None
+        return cls(shards=shards, strategy=strategy or "serial")
+
+    def _shard_inits(
+        self,
+        plan: ShardPlan,
+        rates: np.ndarray,
+        num_dispatchers: int,
+        rounds: int,
+        warmup: int,
+        sized: bool,
+        track_queue_series: bool,
+        probe_specs: tuple[ProbeSpec, ...],
+    ) -> list[ShardInit]:
+        return [
+            ShardInit(
+                index=index,
+                start=lo,
+                rates=rates[lo:hi].copy(),
+                num_dispatchers=num_dispatchers,
+                rounds=rounds,
+                warmup=warmup,
+                sized=sized,
+                track_queue_series=track_queue_series,
+                probe_specs=probe_specs,
+            )
+            for index, (lo, hi) in enumerate(plan.ranges())
+        ]
+
+    @staticmethod
+    def _assemble_probes(
+        config_specs: tuple[ProbeSpec, ...],
+        folded: dict[str, Probe],
+        coordinator: dict[str, Probe],
+    ) -> dict[str, Probe]:
+        """Final label -> probe map in the fast kernel's order."""
+        probes = {"responses": folded["responses"]}
+        if "queue_series" in folded:
+            probes["queue_series"] = folded["queue_series"]
+        for spec in config_specs:
+            label = ProbeSpec.of(spec).label
+            probes[label] = folded[label] if label in folded else coordinator[label]
+        return probes
+
+
+@register_backend("sharded")
+class ShardedBackend(_ShardedParams, EngineBackend):
+    """Server-partitioned fast kernel (see the module docstring).
+
+    The round loop is the fast kernel's, verbatim: identical RNG
+    consumption, identical dispatch calls, identical queue arithmetic
+    -- only the block resolution and the partitionable probes are
+    pushed into the shards.  Bit-identical to ``"fast"`` for
+    deterministic policies at every shard count and under either
+    strategy.
+    """
+
+    name = "sharded"
+    description = (
+        "server-partitioned fast kernel: per-shard batch stores and probe "
+        "sets, folded via Probe.merge_partition; parameterize as "
+        "sharded:N[:serial|process] (bit-exact vs fast for deterministic "
+        "policies)"
+    )
+
+    def run(self, sim: "Simulation") -> "SimulationResult":
+        from repro.policies.base import has_native_dispatch_round
+
+        from .engine import SimulationResult
+
+        config = sim.config
+        policy = sim.policy
+        arrivals = sim.arrivals
+        service = sim.service
+        arrival_rng = sim._streams.arrivals
+        departure_rng = sim._streams.departures
+
+        n = sim.rates.size
+        m = arrivals.num_dispatchers
+        native = has_native_dispatch_round(policy)
+        plan = ShardPlan.balanced(n, self.shards)
+        ranges = plan.ranges()
+        shard_specs, coordinator_specs = split_probe_specs(config.probes)
+        coordinator_probes = ProbeSet(
+            [(spec.label, spec.build()) for spec in coordinator_specs],
+            ProbeContext(
+                num_servers=n,
+                num_dispatchers=m,
+                rates=sim.rates,
+                rounds=config.rounds,
+                warmup=config.warmup,
+                sized=False,
+            ),
+        )
+        need_queues = "queues" in coordinator_probes.fields
+        strategy = _STRATEGIES[self.strategy]()
+        queues = np.zeros(n, dtype=np.int64)
+        total_arrived = 0
+        server_received = np.zeros(n, dtype=np.int64)
+        server_departed = np.zeros(n, dtype=np.int64)
+
+        try:
+            strategy.start(
+                self._shard_inits(
+                    plan,
+                    sim.rates,
+                    m,
+                    config.rounds,
+                    config.warmup,
+                    sized=False,
+                    track_queue_series=config.track_queue_series,
+                    probe_specs=shard_specs,
+                )
+            )
+            for chunk_start in range(0, config.rounds, _CHUNK_ROUNDS):
+                chunk = min(_CHUNK_ROUNDS, config.rounds - chunk_start)
+                arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
+                capacity_block = service.sample_many(
+                    departure_rng, chunk_start, chunk
+                )
+                received_block = np.zeros((chunk, n), dtype=np.int64)
+                done_block = np.zeros((chunk, n), dtype=np.int64)
+                queue_block = (
+                    np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+                )
+
+                for i in range(chunk):
+                    t = chunk_start + i
+
+                    # Phase 1: arrivals (pre-sampled).
+                    batch = arrival_block[i]
+                    round_total = int(batch.sum())
+                    total_arrived += round_total
+
+                    # Phase 2: one batched dispatch against the global view.
+                    policy.begin_round(t, queues)
+                    if round_total:
+                        policy.observe_total_arrivals(round_total)
+                        if native:
+                            rows = policy.dispatch_round(batch, queues)
+                            if rows.shape != (m, n):
+                                raise ValueError(
+                                    f"{policy.name}.dispatch_round returned shape "
+                                    f"{rows.shape}, expected ({m}, {n})"
+                                )
+                            received = rows.sum(axis=0)
+                        else:
+                            received = np.zeros(n, dtype=np.int64)
+                            for d in range(m):
+                                k = int(batch[d])
+                                if k == 0:
+                                    continue
+                                received += policy.dispatch(d, k)
+                        if int(received.sum()) != round_total:
+                            raise ValueError(
+                                f"{policy.name} assigned {int(received.sum())} "
+                                f"jobs for a round of {round_total}"
+                            )
+                        received_block[i] = received
+                        queues += received
+                        server_received += received
+
+                    # Phase 3: departures -- queue totals here, FIFO
+                    # resolution inside the shards at block end.
+                    done = np.minimum(queues, capacity_block[i])
+                    done_block[i] = done
+                    queues -= done
+
+                    policy.end_round(t, queues)
+                    if queue_block is not None:
+                        queue_block[i] = queues
+
+                server_departed += done_block.sum(axis=0)
+                # The per-block exchange: each shard gets its slice of
+                # the admission/completion matrices (its queue slice and
+                # series follow from those deltas worker-side).
+                for index, (lo, hi) in enumerate(ranges):
+                    strategy.feed(
+                        index,
+                        (
+                            chunk_start,
+                            received_block[:, lo:hi],
+                            done_block[:, lo:hi],
+                        ),
+                    )
+                if coordinator_probes.wants_blocks:
+                    fields = coordinator_probes.fields
+                    coordinator_probes.observe_block(
+                        ProbeBlock(
+                            start_round=chunk_start,
+                            length=chunk,
+                            batch=arrival_block if "batch" in fields else None,
+                            received=(
+                                received_block if "received" in fields else None
+                            ),
+                            done=done_block if "done" in fields else None,
+                            queues=queue_block,
+                        )
+                    )
+            folded = _fold_shards(strategy.finish())
+        finally:
+            strategy.close()
+
+        probes = self._assemble_probes(
+            config.probes, folded, coordinator_probes.as_dict()
+        )
+        queue_series_probe = probes.get("queue_series")
+        return SimulationResult(
+            policy_name=policy.name,
+            config=config,
+            histogram=probes["responses"].histogram,
+            queue_series=(
+                queue_series_probe.series if queue_series_probe is not None else None
+            ),
+            total_arrived=total_arrived,
+            total_departed=int(server_departed.sum()),
+            final_queued=int(queues.sum()),
+            final_queues=queues,
+            server_received=server_received,
+            server_departed=server_departed,
+            probes=probes,
+        )
+
+
+_EMPTY_JOBS = np.empty(0, dtype=np.int64)
+
+
+@register_sized_backend("sharded")
+class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
+    """Server-partitioned sized fast kernel.
+
+    Mirrors :class:`ShardedBackend` for the unit-denominated engine:
+    the coordinator repeats the sized fast kernel's pre-sampling
+    (arrival/size interleaving and all) and dispatching exactly, then
+    routes each block's jobs -- already sorted server-major -- to the
+    owning shard in shard-local server coordinates.  Bit-identical to
+    the sized ``"fast"`` kernel for deterministic policies at every
+    shard count.
+    """
+
+    name = "sharded"
+    description = (
+        "server-partitioned sized fast kernel: per-shard unit stores and "
+        "probe sets, folded via Probe.merge_partition; parameterize as "
+        "sharded:N[:serial|process] (bit-exact vs fast for deterministic "
+        "policies)"
+    )
+
+    def run(self, sim: "SizedSimulation") -> "SizedSimulationResult":
+        from .sized import SizedSimulationResult
+
+        policy = sim.policy
+        arrivals = sim.arrivals
+        service = sim.service
+        sizes = sim.sizes
+        arrival_rng = sim._streams.arrivals
+        departure_rng = sim._streams.departures
+
+        n = sim.rates.size
+        m = arrivals.num_dispatchers
+        plan = ShardPlan.balanced(n, self.shards)
+        ranges = plan.ranges()
+        bounds = np.asarray(plan.bounds, dtype=np.int64)
+        shard_specs, coordinator_specs = split_probe_specs(sim.probes)
+        coordinator_probes = ProbeSet(
+            [(spec.label, spec.build()) for spec in coordinator_specs],
+            ProbeContext(
+                num_servers=n,
+                num_dispatchers=m,
+                rates=sim.rates,
+                rounds=sim.rounds,
+                warmup=sim.warmup,
+                sized=True,
+            ),
+        )
+        need_queues = "queues" in coordinator_probes.fields
+        strategy = _STRATEGIES[self.strategy]()
+        unit_queues = np.zeros(n, dtype=np.int64)
+        total_jobs = 0
+        units_in = 0
+        units_out = 0
+        # Flat (dispatcher-major) cell index -> server, as in the sized
+        # fast kernel.
+        cell_server = np.tile(np.arange(n), m)
+
+        try:
+            strategy.start(
+                self._shard_inits(
+                    plan,
+                    sim.rates,
+                    m,
+                    sim.rounds,
+                    sim.warmup,
+                    sized=True,
+                    track_queue_series=True,
+                    probe_specs=shard_specs,
+                )
+            )
+            for chunk_start in range(0, sim.rounds, _CHUNK_ROUNDS):
+                chunk = min(_CHUNK_ROUNDS, sim.rounds - chunk_start)
+
+                # Phase 1 (pre-sampled): arrivals and sizes, interleaved
+                # per round exactly as the reference/fast kernels consume
+                # them.
+                batch_block = np.empty((chunk, m), dtype=np.int64)
+                size_rows: list[np.ndarray] = []
+                for i in range(chunk):
+                    batch = arrivals.sample(arrival_rng, chunk_start + i)
+                    batch_block[i] = batch
+                    k = int(batch.sum())
+                    size_rows.append(
+                        sizes.sample(arrival_rng, k) if k else _EMPTY_JOBS
+                    )
+                capacity_block = service.sample_many(
+                    departure_rng, chunk_start, chunk
+                )
+                received_block = np.zeros((chunk, n), dtype=np.int64)
+                done_block = np.zeros((chunk, n), dtype=np.int64)
+                queue_block = (
+                    np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+                )
+                job_servers: list[np.ndarray] = []
+                job_rounds: list[np.ndarray] = []
+                job_sizes: list[np.ndarray] = []
+
+                for i in range(chunk):
+                    t = chunk_start + i
+                    batch = batch_block[i]
+                    round_total = int(batch.sum())
+                    total_jobs += round_total
+
+                    # Phase 2: one batched dispatch for the whole round.
+                    policy.begin_round(t, unit_queues)
+                    if round_total:
+                        policy.observe_total_arrivals(round_total)
+                        rows = policy.dispatch_round(batch, unit_queues)
+                        if rows.shape != (m, n):
+                            raise ValueError(
+                                f"{policy.name}.dispatch_round returned shape "
+                                f"{rows.shape}, expected ({m}, {n})"
+                            )
+                        flat = rows.ravel()
+                        if int(flat.sum()) != round_total:
+                            raise ValueError(
+                                f"{policy.name} assigned {int(flat.sum())} "
+                                f"jobs for a round of {round_total}"
+                            )
+                        round_sizes = size_rows[i]
+                        size_bounds = np.concatenate(
+                            ([0], np.cumsum(round_sizes))
+                        )
+                        cell_ends = np.cumsum(flat)
+                        cell_units = (
+                            size_bounds[cell_ends] - size_bounds[cell_ends - flat]
+                        )
+                        received_units = cell_units.reshape(m, n).sum(axis=0)
+                        unit_queues += received_units
+                        units_in += int(received_units.sum())
+                        received_block[i] = received_units
+                        job_servers.append(np.repeat(cell_server, flat))
+                        job_rounds.append(
+                            np.full(round_total, t, dtype=np.int64)
+                        )
+                        job_sizes.append(round_sizes)
+
+                    # Phase 3: departures -- unit totals here, per-job
+                    # FIFO resolution inside the shards at block end.
+                    done = np.minimum(unit_queues, capacity_block[i])
+                    done_block[i] = done
+                    unit_queues -= done
+                    units_out += int(done.sum())
+
+                    policy.end_round(t, unit_queues)
+                    if queue_block is not None:
+                        queue_block[i] = unit_queues
+
+                # Sort the block's jobs server-major (stable: admission
+                # order within a server), then cut at the shard bounds.
+                if job_servers:
+                    srv = np.concatenate(job_servers)
+                    order = np.argsort(srv, kind="stable")
+                    srv = srv[order]
+                    rounds_sorted = np.concatenate(job_rounds)[order]
+                    sizes_sorted = np.concatenate(job_sizes)[order]
+                else:
+                    srv = rounds_sorted = sizes_sorted = _EMPTY_JOBS
+                cuts = np.searchsorted(srv, bounds)
+                for index, (lo, hi) in enumerate(ranges):
+                    a, b = int(cuts[index]), int(cuts[index + 1])
+                    strategy.feed(
+                        index,
+                        (
+                            chunk_start,
+                            received_block[:, lo:hi],
+                            done_block[:, lo:hi],
+                            srv[a:b] - lo,
+                            rounds_sorted[a:b],
+                            sizes_sorted[a:b],
+                        ),
+                    )
+                if coordinator_probes.wants_blocks:
+                    fields = coordinator_probes.fields
+                    coordinator_probes.observe_block(
+                        ProbeBlock(
+                            start_round=chunk_start,
+                            length=chunk,
+                            batch=batch_block if "batch" in fields else None,
+                            received=(
+                                received_block if "received" in fields else None
+                            ),
+                            done=done_block if "done" in fields else None,
+                            queues=queue_block,
+                        )
+                    )
+            folded = _fold_shards(strategy.finish())
+        finally:
+            strategy.close()
+
+        probes = self._assemble_probes(
+            sim.probes, folded, coordinator_probes.as_dict()
+        )
+        return SizedSimulationResult(
+            policy_name=policy.name,
+            histogram=probes["responses"].histogram,
+            queue_series=probes["queue_series"].series,
+            total_jobs=total_jobs,
+            total_units_arrived=units_in,
+            total_units_departed=units_out,
+            final_units_queued=int(unit_queues.sum()),
+            probes=probes,
+        )

@@ -15,8 +15,9 @@ return per-server *job* counts; the engine draws each job's size from a
 
 The round loop itself is pluggable: ``backend`` names a sized round
 kernel from the :mod:`repro.sim.sizedbackends` registry (``"reference"``
--- the bit-exact per-object loop, the default -- or ``"fast"`` -- the
-vectorized unit-denominated kernel).
+-- the bit-exact per-object loop, the default -- ``"fast"`` -- the
+vectorized unit-denominated kernel -- or ``"sharded:N"`` -- the
+server-partitioned kernel of :mod:`repro.sim.sharding`).
 """
 
 from __future__ import annotations

@@ -26,10 +26,18 @@ queues are denominated in units.  This module mirrors
     ``dispatch_round`` fallback; statistically equivalent for native
     stochastic batch paths (they reshape policy-stream consumption).
 
+``sharded``
+    The server-partitioned sized kernel (:mod:`repro.sim.sharding`):
+    the sized fast round loop with per-job FIFO resolution pushed into
+    per-shard unit stores and partitionable probes folded at end of
+    run.  Parameterized through the name (``sharded:4``,
+    ``sharded:4:process``); bit-identical to ``fast`` for
+    deterministic policies at every shard count.
+
 Backends are registered by name so experiments and the CLI can select
-them as plain strings; future scaling work (sharded or compiled sized
-kernels) plugs in as additional registrations without touching the
-engine or the policies.
+them as plain strings; future scaling work (compiled sized kernels)
+plugs in as additional registrations without touching the engine or
+the policies.
 """
 
 from __future__ import annotations
@@ -413,3 +421,9 @@ class SizedFastBackend(SizedEngineBackend):
             final_units_queued=int(unit_queues.sum()),
             probes=probes.as_dict(),
         )
+
+
+# The sharded sized kernel registers itself in this registry on import;
+# keep this at the bottom so the registry machinery above exists when
+# it does.
+from . import sharding  # noqa: E402,F401  (registration side effect)

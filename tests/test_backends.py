@@ -40,7 +40,11 @@ from repro.sim.service import GeometricService
 DETERMINISTIC_POLICIES = ["jsq", "sed", "rr", "wrr"]
 #: Stateful / stochastic policies without a native batch path: they run
 #: through the fallback, so they must also be bit-identical.
-FALLBACK_POLICIES = ["scd", "lsq", "twf", "jiq", "hlsq", "led"]
+FALLBACK_POLICIES = ["scd", "twf", "jiq", "led"]
+#: Native batch paths that restructure no RNG consumption (LSQ's
+#: vectorized sampled refreshes draw the identical stream): these must
+#: also stay bit-identical across backends.
+NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq"]
 #: Stochastic policies with native batch paths: exact accounting plus
 #: statistical equivalence only.
 NATIVE_STOCHASTIC_POLICIES = ["wr", "random", "jsq(2)", "hjsq(2)"]
@@ -180,6 +184,15 @@ class TestBitExactness:
     @pytest.mark.parametrize("policy", FALLBACK_POLICIES)
     def test_fallback_policies_identical(self, policy):
         assert not has_native_dispatch_round(make_policy(policy))
+        a = run_once(policy, "reference", seed=11)
+        b = run_once(policy, "fast", seed=11)
+        assert_identical(a, b)
+
+    @pytest.mark.parametrize("policy", NATIVE_BIT_IDENTICAL_POLICIES)
+    def test_native_bit_identical_policies(self, policy):
+        """LSQ's native path (vectorized sampled refreshes: one RNG draw
+        per round across dispatchers) must not perturb the stream."""
+        assert has_native_dispatch_round(make_policy(policy))
         a = run_once(policy, "reference", seed=11)
         b = run_once(policy, "fast", seed=11)
         assert_identical(a, b)

@@ -52,7 +52,11 @@ from repro.sim.sizedbackends import (
 DETERMINISTIC_POLICIES = ["jsq", "sed", "rr", "wrr"]
 #: Stateful / stochastic policies without a native batch path: they run
 #: through the fallback, so they must also be bit-identical.
-FALLBACK_POLICIES = ["scd", "lsq", "twf", "jiq", "hlsq", "led", "scd-sized"]
+FALLBACK_POLICIES = ["scd", "twf", "jiq", "led", "scd-sized"]
+#: Native batch paths that restructure no RNG consumption (LSQ's
+#: vectorized sampled refreshes draw the identical stream): these must
+#: also stay bit-identical across backends.
+NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq"]
 #: Stochastic policies with native batch paths: exact accounting plus an
 #: identical workload realization only.
 NATIVE_STOCHASTIC_POLICIES = ["wr", "random", "jsq(2)", "hjsq(2)"]
@@ -138,6 +142,16 @@ class TestBitExactness:
     def test_fallback_policies_identical(self, policy, dist):
         assert not has_native_dispatch_round(make_policy(policy))
         sizes = SIZE_DISTRIBUTIONS[dist]
+        a = run_once(policy, sizes, "reference", seed=11, rounds=300)
+        b = run_once(policy, sizes, "fast", seed=11, rounds=300)
+        assert_identical(a, b)
+
+    @pytest.mark.parametrize("policy", NATIVE_BIT_IDENTICAL_POLICIES)
+    def test_native_bit_identical_policies(self, policy):
+        """LSQ's native path draws the identical refresh stream, so it
+        stays bit-identical on the sized engine too."""
+        assert has_native_dispatch_round(make_policy(policy))
+        sizes = GeometricSize(2.5)
         a = run_once(policy, sizes, "reference", seed=11, rounds=300)
         b = run_once(policy, sizes, "fast", seed=11, rounds=300)
         assert_identical(a, b)
