@@ -39,6 +39,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -59,6 +60,9 @@ DEFAULT_SIZED_SIZES = ("20x10", "100x50")
 DEFAULT_SIZED_POLICIES = ("jsq", "rr", "wrr")
 DEFAULT_PROBE_SIZES = ("100x50",)
 DEFAULT_SHARDED_SIZES = ("200x100",)
+DEFAULT_CHECKPOINT_SIZES = ("100x50",)
+#: Checkpoint cadence for the run-lifecycle overhead cell (blocks).
+CHECKPOINT_EVERY = 4
 #: Every built-in probe beyond the default collectors (the worst-case
 #: observability load for the overhead cell).
 ALL_EXTRA_PROBES = ("server_stats", "dispatcher_stats", "windowed_mean", "herding")
@@ -75,6 +79,10 @@ PROBE_OVERHEAD_TARGET = 0.15
 #: wall-clock speedup cannot gate on the 1-CPU CI container; what must
 #: hold everywhere is that the shard machinery itself stays cheap.)
 SHARD_OVERHEAD_TARGET = 0.25
+#: Acceptance bar: a checkpointed run (snapshot every
+#: :data:`CHECKPOINT_EVERY` blocks, telemetry streaming) may cost at
+#: most this fraction over the plain fast-kernel run it wraps.
+CHECKPOINT_OVERHEAD_TARGET = 0.10
 
 
 def _parse_size(token: str) -> tuple[int, int]:
@@ -279,6 +287,63 @@ def time_probe_overhead(
     return cell
 
 
+def time_checkpoint_overhead(
+    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
+) -> dict:
+    """Run-lifecycle tax: a checkpointed fast-kernel run vs a plain one.
+
+    The checkpointed leg pickles the whole simulation plus kernel state
+    every :data:`CHECKPOINT_EVERY` blocks (atomic write, hash, probe
+    snapshot, telemetry events) -- crash safety must not tax the hot
+    path, so ``--check`` bars the overhead at
+    :data:`CHECKPOINT_OVERHEAD_TARGET`.
+    """
+    from repro.runs import Run
+
+    cell: dict = {
+        "engine": "checkpoint_overhead",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "checkpoint_every": CHECKPOINT_EVERY,
+    }
+    best = float("inf")
+    for _ in range(repeats):
+        sim = _build_sim(policy, n, m, rho, rounds, seed, "fast")
+        start = time.perf_counter()
+        plain_result = sim.run()
+        best = min(best, time.perf_counter() - start)
+    cell["plain_seconds"] = best
+    cell["plain_rounds_per_sec"] = rounds / best
+    best = float("inf")
+    checkpoints = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            run = Run.create(
+                _build_sim(policy, n, m, rho, rounds, seed, "fast"),
+                Path(tmp) / "run",
+                checkpoint_every=CHECKPOINT_EVERY,
+            )
+            start = time.perf_counter()
+            checkpointed_result = run.execute()
+            best = min(best, time.perf_counter() - start)
+            checkpoints = len(run.store.rounds())
+    cell["checkpointed_seconds"] = best
+    cell["checkpointed_rounds_per_sec"] = rounds / best
+    cell["checkpoints"] = checkpoints
+    cell["checkpoint_overhead_fraction"] = (
+        cell["checkpointed_seconds"] / cell["plain_seconds"] - 1.0
+    )
+    # The checkpointed run replays the identical simulation.
+    cell["plain_mean_response"] = plain_result.mean_response_time
+    cell["checkpointed_mean_response"] = checkpointed_result.mean_response_time
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
 def _best_at_target(cells: list[dict], engine: str) -> float | None:
     at_target = [
         c
@@ -302,6 +367,7 @@ def run_grid(
     probe_sizes: tuple[str, ...] = (),
     sharded_sizes: tuple[str, ...] = (),
     shards: int = 2,
+    checkpoint_sizes: tuple[str, ...] = (),
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -345,6 +411,18 @@ def run_grid(
             f"all={cell['all_probes_rounds_per_sec']:9.0f} r/s  "
             f"overhead={100 * cell['overhead_fraction']:+.1f}%"
         )
+    checkpoint_overheads = []
+    for token in checkpoint_sizes:
+        n, m = _parse_size(token)
+        cell = time_checkpoint_overhead("jsq", n, m, rho, rounds, seed, repeats)
+        cells.append(cell)
+        checkpoint_overheads.append(cell["checkpoint_overhead_fraction"])
+        print(
+            f"ckpt    n={n:4d} m={m:3d} jsq    "
+            f"plain={cell['plain_rounds_per_sec']:9.0f} r/s  "
+            f"every{CHECKPOINT_EVERY}={cell['checkpointed_rounds_per_sec']:9.0f} r/s  "
+            f"overhead={100 * cell['checkpoint_overhead_fraction']:+.1f}%"
+        )
     return {
         "benchmark": "backend_speedup",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -361,6 +439,8 @@ def run_grid(
             "probe_sizes": list(probe_sizes),
             "sharded_sizes": list(sharded_sizes),
             "shards": shards,
+            "checkpoint_sizes": list(checkpoint_sizes),
+            "checkpoint_every": CHECKPOINT_EVERY,
             "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
@@ -381,6 +461,10 @@ def run_grid(
             "shard_overhead_target": SHARD_OVERHEAD_TARGET,
             "shard_overhead_fraction": (
                 max(shard_overheads) if shard_overheads else None
+            ),
+            "checkpoint_overhead_target": CHECKPOINT_OVERHEAD_TARGET,
+            "checkpoint_overhead_fraction": (
+                max(checkpoint_overheads) if checkpoint_overheads else None
             ),
             "peak_rss_kb": _peak_rss_kb(),
         },
@@ -429,6 +513,15 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="shard count for the sharded cell",
     )
+    parser.add_argument(
+        "--checkpoint-sizes",
+        nargs="*",
+        default=list(DEFAULT_CHECKPOINT_SIZES),
+        metavar="NxM",
+        help="grid points for the checkpoint-overhead cell (a run "
+        f"snapshotting every {CHECKPOINT_EVERY} blocks vs the plain fast "
+        "kernel; empty list skips it)",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -440,8 +533,9 @@ def main(argv: list[str] | None = None) -> int:
         help=f"exit non-zero unless the {TARGET_SIZE} headline speedups "
         f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x "
         f"(sized), the all-probes overhead stays under "
-        f"{PROBE_OVERHEAD_TARGET:.0%}, and the serial shard overhead "
-        f"stays under {SHARD_OVERHEAD_TARGET:.0%}",
+        f"{PROBE_OVERHEAD_TARGET:.0%}, the serial shard overhead "
+        f"stays under {SHARD_OVERHEAD_TARGET:.0%}, and the checkpointed-run "
+        f"overhead stays under {CHECKPOINT_OVERHEAD_TARGET:.0%}",
     )
     args = parser.parse_args(argv)
 
@@ -458,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
         probe_sizes=tuple(args.probe_sizes),
         sharded_sizes=tuple(args.sharded_sizes),
         shards=args.shards,
+        checkpoint_sizes=tuple(args.checkpoint_sizes),
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -488,6 +583,11 @@ def main(argv: list[str] | None = None) -> int:
     for label, overhead, target in (
         ("probes", record["headline"]["probe_overhead_fraction"], PROBE_OVERHEAD_TARGET),
         ("sharded", record["headline"]["shard_overhead_fraction"], SHARD_OVERHEAD_TARGET),
+        (
+            "checkpoint",
+            record["headline"]["checkpoint_overhead_fraction"],
+            CHECKPOINT_OVERHEAD_TARGET,
+        ),
     ):
         if overhead is None:
             continue
@@ -514,15 +614,16 @@ def main(argv: list[str] | None = None) -> int:
 def test_backend_speedup_record(tmp_path):
     """Smoke: one tiny grid point per engine produces a well-formed record."""
     record = run_grid(
-        ("10x4",), ("jsq",), rho=0.9, rounds=200, seed=0, repeats=1,
+        ("10x4",), ("jsq",), rho=0.9, rounds=600, seed=0, repeats=1,
         sized_sizes=("10x4",), sized_policies=("jsq",),
         probe_sizes=("10x4",), sharded_sizes=("10x4",),
+        checkpoint_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    unsized, sized, sharded, probes = loaded["cells"]
+    unsized, sized, sharded, probes, checkpoint = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
         assert cell["reference_rounds_per_sec"] > 0
@@ -538,8 +639,15 @@ def test_backend_speedup_record(tmp_path):
     assert probes["probes"] == list(ALL_EXTRA_PROBES)
     assert probes["default_rounds_per_sec"] > 0
     assert probes["all_probes_rounds_per_sec"] > 0
+    assert checkpoint["engine"] == "checkpoint_overhead"
+    assert checkpoint["checkpoint_every"] == CHECKPOINT_EVERY
+    assert checkpoint["checkpoints"] >= 0
+    assert checkpoint["checkpointed_rounds_per_sec"] > 0
+    # The checkpointed leg replays the identical deterministic run.
+    assert checkpoint["plain_mean_response"] == checkpoint["checkpointed_mean_response"]
     assert loaded["headline"]["probe_overhead_fraction"] is not None
     assert loaded["headline"]["shard_overhead_fraction"] is not None
+    assert loaded["headline"]["checkpoint_overhead_fraction"] is not None
     peaks = [cell["peak_rss_kb"] for cell in loaded["cells"]]
     if loaded["headline"]["peak_rss_kb"] is not None:  # no ru_maxrss on Windows
         assert all(peak > 0 for peak in peaks)

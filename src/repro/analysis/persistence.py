@@ -21,6 +21,7 @@ from repro.experiments.results import CellRecord, ExperimentResult
 from repro.experiments.workload import UnreconstructedFactory, WorkloadSpec
 from repro.sim.engine import SimulationConfig, SimulationResult
 from repro.sim.metrics import QueueLengthSeries, ResponseTimeHistogram
+from repro.sim.sized import SizedSimulationResult
 from repro.sim.probes import (
     DEFAULT_PROBE_LABELS,
     ProbeSpec,
@@ -35,6 +36,8 @@ __all__ = [
     "result_from_dict",
     "save_result",
     "load_result",
+    "sized_result_to_dict",
+    "sized_result_from_dict",
     "sweep_to_dict",
     "sweep_from_dict",
     "save_sweep",
@@ -127,6 +130,64 @@ def result_from_dict(payload: dict) -> SimulationResult:
         total_departed=int(payload["total_departed"]),
         final_queued=int(payload["final_queued"]),
         final_queues=np.asarray(payload["final_queues"], dtype=np.int64),
+        probes=probes,
+    )
+
+
+def sized_result_to_dict(result: SizedSimulationResult) -> dict:
+    """Lossless dict form of a sized-engine result (JSON-serializable).
+
+    The sized analog of :func:`result_to_dict` (the run-lifecycle
+    orchestrator uses it for ``result.json``); the ``kind`` key
+    disambiguates the two formats.
+    """
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "sized_result",
+        "policy_name": result.policy_name,
+        "histogram": result.histogram.state_dict(),
+        "queue_series": result.queue_series.values.tolist(),
+        "total_jobs": result.total_jobs,
+        "total_units_arrived": result.total_units_arrived,
+        "total_units_departed": result.total_units_departed,
+        "final_units_queued": result.final_units_queued,
+    }
+    extras = {
+        label: probe.state_dict()
+        for label, probe in result.probes.items()
+        if label not in DEFAULT_PROBE_LABELS
+    }
+    if extras:
+        payload["probes"] = extras
+    return payload
+
+
+def sized_result_from_dict(payload: dict) -> SizedSimulationResult:
+    """Inverse of :func:`sized_result_to_dict`."""
+    version = payload.get("format_version")
+    if payload.get("kind") != "sized_result" or version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sized-result format: kind={payload.get('kind')!r} "
+            f"version={version!r}"
+        )
+    hist = ResponseTimeHistogram()
+    hist.load_state(payload["histogram"])
+    series = QueueLengthSeries(rounds_hint=max(16, len(payload["queue_series"])))
+    series.record_many(np.asarray(payload["queue_series"], dtype=np.int64))
+    probes = {
+        "responses": ResponseTimeProbe(histogram=hist),
+        "queue_series": QueueSeriesProbe(series=series),
+    }
+    for label, state in payload.get("probes", {}).items():
+        probes[label] = probe_from_state(state)
+    return SizedSimulationResult(
+        policy_name=payload["policy_name"],
+        histogram=hist,
+        queue_series=series,
+        total_jobs=int(payload["total_jobs"]),
+        total_units_arrived=int(payload["total_units_arrived"]),
+        total_units_departed=int(payload["total_units_departed"]),
+        final_units_queued=int(payload["final_units_queued"]),
         probes=probes,
     )
 

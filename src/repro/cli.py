@@ -18,6 +18,11 @@ Subcommands
 ``tails``       tail quantiles at one load, several policies
 ``runtime``     per-decision computation-time CDF landmarks (Figures 5/8)
 ``stability``   empirical stability verdict + the Appendix D bound
+``run``         checkpointed simulation run: block-aligned snapshots,
+                streaming JSONL telemetry, crash-safe resume
+``resume``      continue a killed/paused run (or experiment run) from
+                its newest valid checkpoint, bit-identically
+``tail``        print or follow (``-f``) a run's telemetry events
 
 Examples
 --------
@@ -35,12 +40,19 @@ Examples
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
     repro stability --policy jsq(2) --rho 0.95
+    repro run --policy scd --rho 0.9 --backend fast --rounds 100000 \
+        --checkpoint-dir runs/scd-09 --checkpoint-every 4
+    repro resume runs/scd-09
+    repro tail runs/scd-09 --follow
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 
 
 from repro.analysis.ccdf import tail_quantiles
@@ -437,6 +449,137 @@ def cmd_stability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_run_result(result) -> None:
+    rows = [["mean_response_time", result.mean_response_time]]
+    print(format_table(["metric", "value"], rows, title="run result"))
+    for label, summary in result.probe_summaries().items():
+        if label in DEFAULT_PROBE_LABELS:
+            continue
+        print(
+            format_table(
+                ["metric", "value"],
+                [[key, value] for key, value in summary.items()],
+                title=f"probe {label}",
+            )
+        )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.executor import build_cell_simulation
+    from repro.runs import Run
+
+    directory = Path(args.checkpoint_dir)
+    if (directory / "run.json").exists():
+        raise SystemExit(
+            f"{directory / 'run.json'} already exists; "
+            f"continue it with `repro resume {directory}`"
+        )
+    sim = build_cell_simulation(
+        args.policy,
+        _system_from(args),
+        args.rho,
+        _parse_workload(args.workload),
+        args.seed,
+        args.rounds,
+        args.warmup,
+        args.backend,
+        _parse_metrics(args.metrics),
+    )
+    try:
+        run = Run.create(
+            sim,
+            directory,
+            checkpoint_every=args.checkpoint_every,
+            telemetry=args.telemetry,
+        )
+    except (FileExistsError, ValueError) as error:
+        raise SystemExit(str(error))
+    print(f"run directory: {run.directory}")
+    print(f"telemetry: {run.telemetry_path} (watch with `repro tail {directory}`)")
+    result = run.execute(max_legs=args.max_legs)
+    if result is None:
+        print(
+            f"paused after {args.max_legs} checkpoint leg(s) at rounds "
+            f"{run.store.rounds()}; continue with `repro resume {directory}`"
+        )
+        return 0
+    _print_run_result(result)
+    print(f"result written to {run.result_path}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.runs import ExperimentRun, Run
+
+    directory = Path(args.directory)
+    manifest_path = directory / "run.json"
+    if not manifest_path.exists():
+        raise SystemExit(f"no run manifest at {manifest_path}")
+    kind = json.loads(manifest_path.read_text()).get("kind")
+    if kind == "experiment_run":
+        result = ExperimentRun.open(directory).execute(max_legs=args.max_legs)
+        if result is None:
+            print(f"paused; continue with `repro resume {directory}`")
+            return 0
+        print(f"experiment finished: {len(result.records)} cells")
+        return 0
+    if kind != "simulation_run":
+        raise SystemExit(f"unrecognized run kind {kind!r} in {manifest_path}")
+    run = Run.open(directory)
+    resumable = run.store.rounds()
+    if resumable and not run.result_path.exists():
+        print(f"resuming from round {max(resumable)}")
+    result = run.execute(max_legs=args.max_legs)
+    if result is None:
+        print(
+            f"paused at rounds {run.store.rounds()}; "
+            f"continue with `repro resume {directory}`"
+        )
+        return 0
+    _print_run_result(result)
+    print(f"result written to {run.result_path}")
+    return 0
+
+
+def _format_event(record: dict) -> str:
+    stamp = time.strftime("%H:%M:%S", time.localtime(record.get("time", 0)))
+    extras = {
+        key: value
+        for key, value in record.items()
+        if key not in ("seq", "time", "event")
+    }
+    body = " ".join(f"{key}={json.dumps(value)}" for key, value in extras.items())
+    return f"[{record.get('seq', '?'):>4}] {stamp} {record.get('event', '?'):<19} {body}"
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from repro.runs import follow_events, iter_events
+
+    target = Path(args.directory)
+    if target.is_dir():
+        manifest_path = target / "run.json"
+        if not manifest_path.exists():
+            raise SystemExit(f"no run manifest at {manifest_path}")
+        telemetry = json.loads(manifest_path.read_text()).get(
+            "telemetry", "telemetry.jsonl"
+        )
+        path = Path(telemetry)
+        if not path.is_absolute():
+            path = target / path
+    else:
+        path = target  # a telemetry file directly
+    events = follow_events(path) if args.follow else iter_events(path)
+    try:
+        for record in events:
+            print(
+                json.dumps(record) if args.raw else _format_event(record),
+                flush=True,
+            )
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -564,6 +707,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim-rounds", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_runtime)
+
+    p = sub.add_parser(
+        "run",
+        help="checkpointed simulation run: crash-safe, resumable, telemetered",
+    )
+    p.add_argument("--policy", default="scd")
+    p.add_argument("--rho", type=float, default=0.9)
+    p.add_argument(
+        "--workload",
+        default="paper",
+        help="paper (default), skew:F, bursty:F[:P] or "
+        "sized[:geom:MEAN|det:SIZE|bimodal:SMALL:LARGE[:PROB]]",
+    )
+    p.add_argument(
+        "--backend",
+        default="reference",
+        metavar="BACKEND",
+        help="engine round kernel, e.g. reference, fast or sharded:4 "
+        "(see `repro backends`)",
+    )
+    p.add_argument(
+        "--metrics",
+        nargs="*",
+        default=[],
+        metavar="PROBE",
+        help="extra observability probes (see `repro probes`)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        metavar="DIR",
+        help="run directory: manifest, checkpoints, telemetry, result",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="BLOCKS",
+        help="snapshot every N 256-round blocks (default 1)",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="event-log location override (default telemetry.jsonl in the "
+        "run directory; relative paths resolve against it)",
+    )
+    p.add_argument(
+        "--max-legs",
+        type=int,
+        metavar="N",
+        help="pause after N checkpoints (resume with `repro resume`)",
+    )
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "resume", help="continue a checkpointed run from its newest snapshot"
+    )
+    p.add_argument("directory", help="run directory (simulation or experiment)")
+    p.add_argument(
+        "--max-legs",
+        type=int,
+        metavar="N",
+        help="pause again after N further checkpoints",
+    )
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser("tail", help="print (or follow) a run's telemetry events")
+    p.add_argument("directory", help="run directory or telemetry file")
+    p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep polling for new events (like tail -f)",
+    )
+    p.add_argument(
+        "--raw", action="store_true", help="print raw JSONL instead of formatting"
+    )
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser("stability", help="empirical verdict + Appendix D bound")
     p.add_argument("--policy", default="scd")

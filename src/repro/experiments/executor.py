@@ -35,6 +35,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessPoolExecutor",
     "resolve_executor",
+    "build_cell_simulation",
     "simulate_cell",
     "execute_cell",
 ]
@@ -42,7 +43,7 @@ __all__ = [
 ProgressCallback = Callable[[int, int], None]
 
 
-def simulate_cell(
+def build_cell_simulation(
     policy: "str | PolicySpec | Policy",
     system: SystemSpec,
     rho: float,
@@ -52,19 +53,15 @@ def simulate_cell(
     warmup: int = 0,
     backend: str = "reference",
     probes: tuple = (),
-) -> SimulationResult | SizedSimulationResult:
-    """Run one simulation at fully resolved coordinates.
+) -> Simulation | SizedSimulation:
+    """Build (but do not run) the simulation at resolved coordinates.
 
-    The shared low-level path of both executors and the legacy
-    ``run_simulation`` wrapper: builds the workload's processes, binds a
-    fresh policy, and runs the appropriate engine (sized when the
-    workload carries a job-size distribution).  ``backend`` names the
-    round kernel in the engine's own registry --
-    :mod:`repro.sim.backends` for unsized workloads,
-    :mod:`repro.sim.sizedbackends` for sized ones; unknown names fail
-    with that registry's error message.  ``probes`` are extra
-    observability probes (names or ``ProbeSpec``) appended to the
-    default collectors in either engine.
+    The construction half of :func:`simulate_cell`: builds the
+    workload's processes, binds a fresh policy, and returns the
+    appropriate engine object (sized when the workload carries a
+    job-size distribution) ready for ``.run()``.  The run-lifecycle
+    orchestrator (:mod:`repro.runs`) uses this seam to drive the
+    simulation under a checkpointing controller instead of a plain run.
     """
     rates = system.rates()
     policy_obj = policy if isinstance(policy, Policy) else PolicySpec.of(policy).build()
@@ -82,7 +79,7 @@ def simulate_cell(
             backend=backend,
             warmup=warmup,
             probes=probes,
-        ).run()
+        )
     return Simulation(
         rates=rates,
         policy=policy_obj,
@@ -91,6 +88,33 @@ def simulate_cell(
         config=SimulationConfig(
             rounds=rounds, warmup=warmup, seed=seed, backend=backend, probes=probes
         ),
+    )
+
+
+def simulate_cell(
+    policy: "str | PolicySpec | Policy",
+    system: SystemSpec,
+    rho: float,
+    workload: WorkloadSpec,
+    seed: int,
+    rounds: int,
+    warmup: int = 0,
+    backend: str = "reference",
+    probes: tuple = (),
+) -> SimulationResult | SizedSimulationResult:
+    """Run one simulation at fully resolved coordinates.
+
+    The shared low-level path of both executors and the legacy
+    ``run_simulation`` wrapper: :func:`build_cell_simulation` plus the
+    run.  ``backend`` names the round kernel in the engine's own
+    registry -- :mod:`repro.sim.backends` for unsized workloads,
+    :mod:`repro.sim.sizedbackends` for sized ones; unknown names fail
+    with that registry's error message.  ``probes`` are extra
+    observability probes (names or ``ProbeSpec``) appended to the
+    default collectors in either engine.
+    """
+    return build_cell_simulation(
+        policy, system, rho, workload, seed, rounds, warmup, backend, probes
     ).run()
 
 

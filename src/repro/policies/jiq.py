@@ -11,6 +11,15 @@ Each dispatcher consumes the idle set *independently* -- dispatchers do not
 see each other's assignments, so at moderate load many dispatchers pile
 onto the same few idle servers.  That correlation, plus the random fallback
 at high load, is exactly why JIQ degrades as load grows (Section 1.1).
+
+The batch protocol (:meth:`JIQPolicy.dispatch_round`) exploits exactly
+that high-load regime: in rounds whose idle set is *empty* -- the common
+case near saturation, where the fast kernels matter -- every job takes
+the random fallback, and one fused RNG draw covers all dispatchers
+(numpy fills random output element by element, so the realization and
+stream position match the per-dispatcher loop bit for bit).  Rounds with
+idle servers keep the sequential per-dispatcher draws, whose
+permutation/weighted-choice sampling cannot fuse.
 """
 
 from __future__ import annotations
@@ -72,6 +81,34 @@ class JIQPolicy(Policy):
             fallback = self._pick_fallback(rest)
             np.add.at(counts, fallback, 1)
         return counts
+
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """Native batch protocol, bit-identical to the fallback.
+
+        With no idle servers this round, ``dispatch`` would draw only
+        the random fallback for each dispatcher in index order; one
+        fused draw realizes exactly those element-by-element fills.
+        With idle servers present the per-dispatcher loop runs
+        unchanged (distinct-idle sampling is sequential by nature).
+        """
+        assert self.ctx is not None, "policy used before bind()"
+        rows = np.zeros(
+            (self.ctx.num_dispatchers, self.ctx.num_servers), dtype=np.int64
+        )
+        batch = np.asarray(batch, dtype=np.int64)
+        active = np.flatnonzero(batch)
+        if active.size == 0:
+            return rows
+        if self._idle is not None and self._idle.size:
+            for d in active:
+                rows[d] = self.dispatch(int(d), int(batch[d]))
+            return rows
+        # Empty idle set: _pick_idle consumes no randomness, every job
+        # falls back.  Scatter the fused draw back to dispatcher rows.
+        sizes = batch[active]
+        fallback = self._pick_fallback(int(sizes.sum()))
+        np.add.at(rows, (np.repeat(active, sizes), fallback), 1)
+        return rows
 
 
 @register_policy("jiq")

@@ -17,6 +17,14 @@ convention as our LSQ implementation so the two are directly comparable.
 The heterogeneity-aware variant (``hled``) ranks by estimated expected
 delay and samples rate-proportionally, mirroring the paper's footnote 6
 adaptations of the other baselines.
+
+The batch-protocol path mirrors :mod:`repro.policies.lsq`: the greedy
+itself stays a per-dispatcher loop (each dispatcher ranks against its own
+sequential local array), while :meth:`LEDPolicy.end_round` fuses every
+dispatcher's sampling budget into one RNG draw and one fancy assignment.
+numpy fills random output element by element, so the fused draw realizes
+exactly the per-dispatcher draws it replaces -- bit-identical stream
+consumption on every engine backend.
 """
 
 from __future__ import annotations
@@ -67,6 +75,23 @@ class LEDPolicy(Policy):
         self._batch_sizes[dispatcher] = num_jobs
         return counts
 
+    def dispatch_round(self, batch: np.ndarray, queues: np.ndarray) -> np.ndarray:
+        """Native batch protocol, bit-identical to the fallback.
+
+        As in LSQ, each dispatcher greedily ranks against its *own*
+        drift-corrected estimate array, so the greedy cannot fuse across
+        dispatchers; going native pairs it with the vectorized
+        :meth:`end_round` refresh while skipping empty batches up front.
+        """
+        assert self.ctx is not None, "policy used before bind()"
+        rows = np.zeros(
+            (self.ctx.num_dispatchers, self.ctx.num_servers), dtype=np.int64
+        )
+        batch = np.asarray(batch, dtype=np.int64)
+        for d in np.flatnonzero(batch):
+            rows[d] = self.dispatch(int(d), int(batch[d]))
+        return rows
+
     def _sample_servers(self, count: int) -> np.ndarray:
         n = self.ctx.num_servers
         if self._sampling_cdf is None:
@@ -77,14 +102,25 @@ class LEDPolicy(Policy):
         # The LED step: drive every estimate with the known service model
         # (each server drains ~mu jobs per round), floored at zero.
         np.maximum(self._local - self.rates, 0.0, out=self._local)
-        # Then refresh sampled entries with ground truth, as in LSQ.
-        for d in range(self.ctx.num_dispatchers):
-            batch = int(self._batch_sizes[d])
-            if batch == 0:
-                continue
-            budget = max(1, int(np.ceil(self.samples_per_job * batch)))
-            sampled = self._sample_servers(budget)
-            self._local[d, sampled] = queues[sampled]
+        # Then refresh sampled entries with ground truth, as in LSQ: one
+        # draw covers every active dispatcher's budget (numpy fills
+        # random output element by element, so the realization -- and
+        # the stream position -- matches the per-dispatcher loop this
+        # replaces), and one fancy assignment applies all refreshes.
+        active = np.flatnonzero(self._batch_sizes)
+        if active.size == 0:
+            return
+        budgets = np.maximum(
+            1,
+            np.ceil(self.samples_per_job * self._batch_sizes[active]).astype(
+                np.int64
+            ),
+        )
+        sampled = self._sample_servers(int(budgets.sum()))
+        rows = np.repeat(active, budgets)
+        # Duplicate (dispatcher, server) pairs all write queues[server]:
+        # order inside the fancy assignment cannot matter.
+        self._local[rows, sampled] = queues[sampled]
 
 
 @register_policy("led")

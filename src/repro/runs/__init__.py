@@ -1,0 +1,36 @@
+"""Run lifecycle subsystem: checkpointed, telemetered, resumable runs.
+
+Long simulations become crash-safe *runs*: block-aligned checkpoints
+(:mod:`~repro.runs.checkpoint`), streaming JSONL telemetry
+(:mod:`~repro.runs.telemetry`), and orchestrators that drive either
+engine's kernels through the lifecycle seam of
+:mod:`repro.sim.lifecycle` -- :class:`Run` for one simulation,
+:class:`ExperimentRun` for a whole declarative grid with per-cell
+resume.  The CLI front ends are ``repro run``, ``repro resume`` and
+``repro tail``.
+"""
+
+from .checkpoint import CheckpointError, CheckpointStore
+from .experiment import ExperimentRun
+from .orchestrator import (
+    BLOCK_ROUNDS,
+    CheckpointController,
+    LegLimitReached,
+    Run,
+    probe_summaries_from_state,
+)
+from .telemetry import TelemetryWriter, follow_events, iter_events
+
+__all__ = [
+    "BLOCK_ROUNDS",
+    "CheckpointError",
+    "CheckpointStore",
+    "CheckpointController",
+    "ExperimentRun",
+    "LegLimitReached",
+    "Run",
+    "TelemetryWriter",
+    "follow_events",
+    "iter_events",
+    "probe_summaries_from_state",
+]

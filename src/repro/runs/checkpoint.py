@@ -1,0 +1,176 @@
+"""Block-aligned checkpoint store: atomic, content-hashed, self-healing.
+
+One checkpoint is two files in the store directory:
+
+``ckpt-<round>.pkl``
+    The pickled payload -- the complete resume state of a simulation at
+    a 256-round block boundary (the whole engine object plus the round
+    kernel's exported state, pickled *together* so every internal alias,
+    most importantly the policy's RNG stream, survives the round trip).
+``ckpt-<round>.json``
+    The manifest: round index, payload filename, its SHA-256 and size,
+    plus run metadata.  The manifest is written *after* the payload and
+    is the commit point -- a payload without a manifest is an aborted
+    write and is ignored.
+
+Both files are written via write-to-temp + ``fsync`` + atomic rename,
+so a crash (or SIGKILL) at any instant leaves either the previous
+checkpoint set or a complete new one, never a torn file under a final
+name.  :meth:`CheckpointStore.load_latest` walks manifests newest
+first, verifies the content hash, and falls back to the previous
+snapshot on any corruption (with a warning); only when *every*
+checkpoint is damaged does it raise :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import warnings
+from pathlib import Path
+
+__all__ = ["CheckpointError", "CheckpointStore"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """No usable checkpoint: every manifest present failed validation."""
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + fsync + rename."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointStore:
+    """The checkpoints of one run, newest-first addressable."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _payload_name(self, round_index: int) -> str:
+        return f"ckpt-{round_index:010d}.pkl"
+
+    def _manifest_name(self, round_index: int) -> str:
+        return f"ckpt-{round_index:010d}.json"
+
+    def write(self, round_index: int, blob: bytes, meta: dict | None = None) -> dict:
+        """Commit one checkpoint; returns its manifest.
+
+        ``blob`` is the already-pickled payload.  The payload lands
+        first, the manifest second (the commit point), both atomically.
+        """
+        round_index = int(round_index)
+        payload_name = self._payload_name(round_index)
+        _atomic_write_bytes(self.directory / payload_name, blob)
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "round": round_index,
+            "payload": payload_name,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "bytes": len(blob),
+            **(meta or {}),
+        }
+        _atomic_write_bytes(
+            self.directory / self._manifest_name(round_index),
+            json.dumps(manifest).encode("utf-8"),
+        )
+        return manifest
+
+    def manifest_paths(self) -> list[Path]:
+        """Manifest files, newest (highest round) first.
+
+        Zero-padded round numbers in the filenames make the name sort
+        the round sort.
+        """
+        return sorted(self.directory.glob("ckpt-*.json"), reverse=True)
+
+    def rounds(self) -> list[int]:
+        """Rounds with a committed (manifested) checkpoint, ascending."""
+        rounds = []
+        for path in self.manifest_paths():
+            try:
+                rounds.append(int(json.loads(path.read_text())["round"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return sorted(rounds)
+
+    def load_latest(self) -> tuple[dict, object] | None:
+        """``(manifest, payload_object)`` of the newest valid checkpoint.
+
+        Returns ``None`` when the store holds no committed checkpoint
+        (fresh run).  Corrupted or truncated checkpoints -- unreadable
+        manifest, missing payload, hash mismatch, unpicklable blob --
+        are rejected with a warning and the walk falls back to the
+        previous snapshot; if manifests exist but none validates,
+        raises :class:`CheckpointError` naming every failure.
+        """
+        paths = self.manifest_paths()
+        if not paths:
+            return None
+        failures: list[str] = []
+
+        def reject(path: Path, reason: str) -> None:
+            failures.append(f"{path.name}: {reason}")
+            warnings.warn(
+                f"checkpoint {path.name} rejected ({reason}); "
+                f"falling back to the previous snapshot",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+        for path in paths:
+            try:
+                manifest = json.loads(path.read_text())
+            except (OSError, ValueError) as error:
+                reject(path, f"unreadable manifest: {error}")
+                continue
+            if not isinstance(manifest, dict) or "payload" not in manifest:
+                reject(path, "malformed manifest")
+                continue
+            if manifest.get("format_version") != _FORMAT_VERSION:
+                reject(
+                    path,
+                    f"unsupported format version "
+                    f"{manifest.get('format_version')!r}",
+                )
+                continue
+            payload_path = self.directory / str(manifest["payload"])
+            try:
+                blob = payload_path.read_bytes()
+            except OSError as error:
+                reject(path, f"missing payload: {error}")
+                continue
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != manifest.get("sha256"):
+                reject(path, "payload hash mismatch (truncated or corrupted)")
+                continue
+            try:
+                payload = pickle.loads(blob)
+            except Exception as error:  # torn pickle despite matching hash
+                reject(path, f"unpicklable payload: {error}")
+                continue
+            return manifest, payload
+        raise CheckpointError(
+            "no usable checkpoint: every snapshot failed validation -- "
+            + "; ".join(failures)
+        )

@@ -1,0 +1,111 @@
+"""Streaming JSONL run telemetry.
+
+One event per line, appended and flushed immediately, so a live run can
+be watched with ``tail -f`` (or ``repro tail``) while it executes.  Each
+event carries a monotonically increasing ``seq`` (continued across
+resumes), a wall-clock ``time``, and the ``event`` name; everything else
+is event-specific.  The run orchestrator (:mod:`repro.runs.orchestrator`)
+emits ``run-started``, ``leg-completed``, ``probe-snapshot``,
+``checkpoint-written``, ``run-paused`` and ``run-finished``.
+
+Readers are tolerant by construction: a process killed mid-write leaves
+at most one torn trailing line, which :func:`iter_events` skips.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["TelemetryWriter", "iter_events", "follow_events"]
+
+
+class TelemetryWriter:
+    """Append-only JSONL event writer (one flush per event)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Continue the sequence across resumes: events already on disk
+        # keep their numbers, new ones follow.
+        self._seq = sum(1 for _ in iter_events(self.path))
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event and flush it to disk; returns the record."""
+        record = {
+            "seq": self._seq,
+            "time": time.time(),
+            "event": str(event),
+            **fields,
+        }
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_events(path: str | Path) -> Iterator[dict]:
+    """Yield the events of a telemetry file, skipping torn lines."""
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write (killed mid-line)
+            if isinstance(record, dict):
+                yield record
+
+
+def follow_events(
+    path: str | Path,
+    poll_interval: float = 0.2,
+    stop: "callable | None" = None,
+) -> Iterator[dict]:
+    """Yield events as they appear (the ``tail -f`` loop).
+
+    Replays everything already in the file, then polls for appended
+    lines every ``poll_interval`` seconds.  ``stop`` (when given) is
+    checked between polls; the generator ends when it returns true.
+    """
+    path = Path(path)
+    position = 0
+    buffer = ""
+    while True:
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(position)
+                chunk = handle.read()
+                position = handle.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+        if stop is not None and stop():
+            return
+        time.sleep(poll_interval)

@@ -43,6 +43,7 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import BatchQueueStore
+from .lifecycle import RunController, validate_start_round
 from .probes import (
     BlockRecorder,
     ProbeBlock,
@@ -76,8 +77,17 @@ class EngineBackend(ABC):
     description: str = ""
 
     @abstractmethod
-    def run(self, sim: "Simulation") -> "SimulationResult":
-        """Execute ``sim.config.rounds`` rounds and collect the metrics."""
+    def run(
+        self, sim: "Simulation", controller: RunController | None = None
+    ) -> "SimulationResult":
+        """Execute ``sim.config.rounds`` rounds and collect the metrics.
+
+        ``controller`` is the optional run-lifecycle seam
+        (:mod:`repro.sim.lifecycle`): kernels honor its ``start_round``
+        / ``initial_state()`` to resume mid-run and call its
+        ``after_block`` at every 256-round block boundary with their
+        exportable state.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -131,7 +141,9 @@ class ReferenceBackend(EngineBackend):
         "the simple, bit-exact default"
     )
 
-    def run(self, sim: "Simulation") -> "SimulationResult":
+    def run(
+        self, sim: "Simulation", controller: RunController | None = None
+    ) -> "SimulationResult":
         config = sim.config
         policy = sim.policy
         arrivals = sim.arrivals
@@ -141,19 +153,37 @@ class ReferenceBackend(EngineBackend):
 
         n = sim.rates.size
         m = arrivals.num_dispatchers
-        servers = [ServerQueue() for _ in range(n)]
-        queues = np.zeros(n, dtype=np.int64)
-        probes = _probe_set_for(sim)
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, config.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            servers = state["servers"]
+            queues = state["queues"]
+            probes = state["probes"]
+            total_arrived = state["total_arrived"]
+            total_departed = state["total_departed"]
+            server_received = state["server_received"]
+            server_departed = state["server_departed"]
+        else:
+            servers = [ServerQueue() for _ in range(n)]
+            queues = np.zeros(n, dtype=np.int64)
+            probes = _probe_set_for(sim)
+            total_arrived = 0
+            total_departed = 0
+            server_received = np.zeros(n, dtype=np.int64)
+            server_departed = np.zeros(n, dtype=np.int64)
         histogram = probes.histogram
         series = probes.queue_series
+        # A fresh recorder is correct on resume: its buffer is empty at
+        # every block boundary (it auto-flushes exactly there).
         recorder = BlockRecorder(probes, _CHUNK_ROUNDS)
         tee = ResponseTee(probes, histogram) if probes.wants_responses else None
-        total_arrived = 0
-        total_departed = 0
-        server_received = np.zeros(n, dtype=np.int64)
-        server_departed = np.zeros(n, dtype=np.int64)
 
-        for t in range(config.rounds):
+        for t in range(start_round, config.rounds):
             # Phase 1: arrivals.
             batch = arrivals.sample(arrival_rng, t)
             round_total = int(batch.sum())
@@ -186,6 +216,8 @@ class ReferenceBackend(EngineBackend):
             )
             busy = np.flatnonzero((queues > 0) & (capacities > 0))
             for s in busy:
+                if tee is not None and sink is tee:
+                    tee.server = int(s)
                 done = servers[s].complete(int(capacities[s]), t, sink)
                 queues[s] -= done
                 total_departed += done
@@ -199,6 +231,19 @@ class ReferenceBackend(EngineBackend):
             recorder.record(t, batch, received, done_row, queues)
             if tee is not None and sink is tee:
                 tee.flush(t)
+            if controller is not None and (t + 1) % _CHUNK_ROUNDS == 0:
+                controller.after_block(
+                    t + 1,
+                    lambda: {
+                        "servers": servers,
+                        "queues": queues,
+                        "probes": probes,
+                        "total_arrived": total_arrived,
+                        "total_departed": total_departed,
+                        "server_received": server_received,
+                        "server_departed": server_departed,
+                    },
+                )
         recorder.flush()
 
         return _make_result(
@@ -243,7 +288,9 @@ class FastBackend(EngineBackend):
         "block-resolved departures (bit-exact for deterministic policies)"
     )
 
-    def run(self, sim: "Simulation") -> "SimulationResult":
+    def run(
+        self, sim: "Simulation", controller: RunController | None = None
+    ) -> "SimulationResult":
         from repro.policies.base import has_native_dispatch_round
 
         config = sim.config
@@ -256,20 +303,35 @@ class FastBackend(EngineBackend):
         n = sim.rates.size
         m = arrivals.num_dispatchers
         native = has_native_dispatch_round(policy)
-        store = BatchQueueStore(n)
-        queues = np.zeros(n, dtype=np.int64)
-        probes = _probe_set_for(sim)
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, config.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            store = state["store"]
+            queues = state["queues"]
+            probes = state["probes"]
+            total_arrived = state["total_arrived"]
+            server_received = state["server_received"]
+            server_departed = state["server_departed"]
+        else:
+            store = BatchQueueStore(n)
+            queues = np.zeros(n, dtype=np.int64)
+            probes = _probe_set_for(sim)
+            total_arrived = 0
+            server_received = np.zeros(n, dtype=np.int64)
+            server_departed = np.zeros(n, dtype=np.int64)
         histogram = probes.histogram
         series = probes.queue_series
         need_queues = "queues" in probes.fields
         response_sink = (
             probes.observe_responses if probes.wants_responses else None
         )
-        total_arrived = 0
-        server_received = np.zeros(n, dtype=np.int64)
-        server_departed = np.zeros(n, dtype=np.int64)
 
-        for chunk_start in range(0, config.rounds, _CHUNK_ROUNDS):
+        for chunk_start in range(start_round, config.rounds, _CHUNK_ROUNDS):
             chunk = min(_CHUNK_ROUNDS, config.rounds - chunk_start)
             arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
             capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
@@ -347,6 +409,18 @@ class FastBackend(EngineBackend):
                         done=done_block if "done" in fields else None,
                         queues=queue_block,
                     )
+                )
+            if controller is not None:
+                controller.after_block(
+                    chunk_start + chunk,
+                    lambda: {
+                        "store": store,
+                        "queues": queues,
+                        "probes": probes,
+                        "total_arrived": total_arrived,
+                        "server_received": server_received,
+                        "server_departed": server_departed,
+                    },
                 )
         total_departed = int(server_departed.sum())
 

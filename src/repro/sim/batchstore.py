@@ -112,9 +112,10 @@ class BatchQueueStore:
             accounting still includes them), matching the reference
             engine's per-round sink gating.
         response_sink:
-            Optional callable ``(departure_rounds, times, counts)``
-            receiving the same post-warmup records the histogram gets
-            (the probe feed; see :mod:`repro.sim.probes`).
+            Optional callable ``(departure_rounds, times, counts,
+            servers)`` receiving the same post-warmup records the
+            histogram gets, stamped with the serving server of each
+            record (the probe feed; see :mod:`repro.sim.probes`).
         """
         n = self._n
         new_totals = received_block.sum(axis=0)
@@ -219,7 +220,12 @@ class BatchQueueStore:
             if histogram is not None:
                 histogram.record_many(times, counts)
             if response_sink is not None:
-                response_sink(dep_round[record], times, counts)
+                response_sink(
+                    dep_round[record],
+                    times,
+                    counts,
+                    batch_server[seg_batch[record]],
+                )
 
         # Segments mapped to a sentinel are the carry; global segment
         # order is server-major FIFO, and each pending batch contributes
@@ -311,9 +317,10 @@ class SizedBatchQueueStore:
             Jobs finishing in rounds ``< warmup`` are not recorded
             (unit accounting still includes them).
         response_sink:
-            Optional callable ``(departure_rounds, times, counts)``
-            receiving the same post-warmup records the histogram gets
-            (the probe feed; see :mod:`repro.sim.probes`).
+            Optional callable ``(departure_rounds, times, counts,
+            servers)`` receiving the same post-warmup records the
+            histogram gets, stamped with the serving server of each
+            record (the probe feed; see :mod:`repro.sim.probes`).
         """
         n = self._n
         job_servers = np.asarray(job_servers, dtype=np.int64)
@@ -418,7 +425,9 @@ class SizedBatchQueueStore:
             if histogram is not None:
                 histogram.record_many(times, counts)
             if response_sink is not None:
-                response_sink(dep_round[record], times, counts)
+                response_sink(
+                    dep_round[record], times, counts, job_server[record]
+                )
 
         # Carry: jobs whose last unit outlives the block's completions;
         # the head job of each leftover server may be partially served.

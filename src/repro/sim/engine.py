@@ -175,11 +175,17 @@ class Simulation:
         arrivals.reset()
         service.reset()
 
-    def run(self) -> SimulationResult:
-        """Execute all rounds via the configured backend (see ``backends``)."""
+    def run(self, controller=None) -> SimulationResult:
+        """Execute all rounds via the configured backend (see ``backends``).
+
+        ``controller`` is the optional run-lifecycle seam
+        (:class:`repro.sim.lifecycle.RunController`): the checkpointing
+        orchestrator in :mod:`repro.runs` uses it to resume mid-run and
+        to export block-aligned state.
+        """
         from .backends import make_backend
 
-        return make_backend(self.config.backend).run(self)
+        return make_backend(self.config.backend).run(self, controller)
 
 
 def simulate(

@@ -197,10 +197,17 @@ class Probe(ABC):
         """Per-round hook for simple probes (rows of the block arrays)."""
 
     def observe_responses(
-        self, rounds: np.ndarray, times: np.ndarray, counts: np.ndarray
+        self,
+        rounds: np.ndarray,
+        times: np.ndarray,
+        counts: np.ndarray,
+        servers: np.ndarray,
     ) -> None:
         """Recorded response times: ``counts[i]`` jobs took ``times[i]``
-        rounds and departed in round ``rounds[i]`` (post-warmup only)."""
+        rounds, departed in round ``rounds[i]`` and were served by
+        server ``servers[i]`` (post-warmup only).  Under the sharded
+        kernels a partitionable probe sees shard-local server indices
+        (its slice's columns), matching the block arrays it receives."""
 
     # -- reporting / state -------------------------------------------------
 
@@ -435,13 +442,17 @@ class ProbeSet:
             probe.observe_block(block)
 
     def observe_responses(
-        self, rounds: np.ndarray, times: np.ndarray, counts: np.ndarray
+        self,
+        rounds: np.ndarray,
+        times: np.ndarray,
+        counts: np.ndarray,
+        servers: np.ndarray,
     ) -> None:
         """Fan recorded response times out to the interested probes."""
         if np.asarray(times).size == 0:
             return
         for probe in self._response_probes:
-            probe.observe_responses(rounds, times, counts)
+            probe.observe_responses(rounds, times, counts, servers)
 
     def as_dict(self) -> dict[str, Probe]:
         """Label -> probe mapping, in declaration order (for results)."""
@@ -554,8 +565,11 @@ class ResponseTee:
     Drop-in for the histogram in ``ServerQueue.complete``: records into
     the real histogram *and* buffers ``(time, count)`` pairs, which
     :meth:`flush` stamps with the departure round and forwards to the
-    probes.  Only instantiated when some probe wants response events, so
-    the default path keeps its direct histogram writes.
+    probes.  The reference loops set :attr:`server` to the server being
+    drained before each ``complete`` call, so every buffered record is
+    attributed to its serving server (matching the batch stores' native
+    server stamping).  Only instantiated when some probe wants response
+    events, so the default path keeps its direct histogram writes.
     """
 
     def __init__(
@@ -563,14 +577,18 @@ class ResponseTee:
     ) -> None:
         self._probes = probe_set
         self._histogram = histogram
+        #: Index of the server currently draining (set by the kernel).
+        self.server = 0
         self._times: list[int] = []
         self._counts: list[int] = []
+        self._servers: list[int] = []
 
     def record(self, response_time: int, count: int = 1) -> None:
         """Mirror ``ResponseTimeHistogram.record`` while buffering."""
         self._histogram.record(response_time, count)
         self._times.append(response_time)
         self._counts.append(count)
+        self._servers.append(self.server)
 
     def flush(self, round_index: int) -> None:
         """Emit the buffered records as this round's departures."""
@@ -578,11 +596,16 @@ class ResponseTee:
             return
         times = np.asarray(self._times, dtype=np.int64)
         counts = np.asarray(self._counts, dtype=np.int64)
+        servers = np.asarray(self._servers, dtype=np.int64)
         self._probes.observe_responses(
-            np.full(times.size, round_index, dtype=np.int64), times, counts
+            np.full(times.size, round_index, dtype=np.int64),
+            times,
+            counts,
+            servers,
         )
         self._times.clear()
         self._counts.clear()
+        self._servers.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -1014,7 +1037,11 @@ class WindowedMeanProbe(Probe):
         self._counts = np.zeros(windows, dtype=np.int64)
 
     def observe_responses(
-        self, rounds: np.ndarray, times: np.ndarray, counts: np.ndarray
+        self,
+        rounds: np.ndarray,
+        times: np.ndarray,
+        counts: np.ndarray,
+        servers: np.ndarray,
     ) -> None:
         index = np.asarray(rounds, dtype=np.int64) // self.window
         times = np.asarray(times, dtype=np.int64)
@@ -1084,11 +1111,26 @@ class HerdingSignalProbe(Probe):
     Measures how hard dispatchers pile onto the same servers within a
     round -- the largest single-server pile-up (``max_spike``), its
     per-round average, and the RMS deviation from rate-proportional
-    placement -- by feeding each block into
-    :class:`repro.analysis.herding.HerdingStats` (the same accumulator
-    the wrapper-based ``HerdingProbe`` uses, now engine-fed and so
-    available on the fast kernels too).  On the sized engine the
-    pile-up is measured in admitted work units.
+    placement (``mean_imbalance``), exactly the statistics of
+    :class:`repro.analysis.herding.HerdingStats` (the wrapper-based
+    ``HerdingProbe``), now engine-fed and so available on the fast
+    kernels too.  On the sized engine the pile-up is measured in
+    admitted work units.
+
+    The probe is *partitionable*: instead of needing the global
+    ``received`` matrix, it keeps per-round sufficient statistics that
+    each server shard can accumulate over its own columns -- the round
+    totals, the per-round spike, ``sum(r_s^2)``, and the
+    rate-weighted sum ``sum(rates_s * r_s)`` plus the shard's rate sum
+    and ``sum(rates_s^2)``.  :meth:`merge_partition` folds shards
+    element-wise (totals/squares add, spikes max) and :meth:`summary`
+    recovers the global deviation algebraically::
+
+        sum_s (r_s - T*mu_s)^2
+            = sum(r^2) - 2*(T/R)*sum(rates*r) + (T/R)^2 * sum(rates^2)
+
+    with ``R`` the global rate sum and ``mu_s = rates_s / R`` -- the
+    same quantity ``HerdingStats`` computes element-wise.
     """
 
     description = (
@@ -1096,41 +1138,145 @@ class HerdingSignalProbe(Probe):
         "(herding mechanism, cf. analysis.herding)"
     )
     fields = frozenset({"received"})
+    #: Per-round sufficient statistics accumulate per server shard and
+    #: fold element-wise (see class docstring).
+    partitionable = True
 
     def __init__(self) -> None:
         super().__init__()
-        # Deferred import: analysis sits above sim in the layering.
-        from repro.analysis.herding import HerdingStats
-
-        self.stats = HerdingStats()
-        self._share: np.ndarray | None = None
+        self._rates: np.ndarray | None = None
+        # Per-round component series, as per-block arrays concatenated
+        # lazily (each list collapses to one array on demand).
+        self._totals: list[np.ndarray] = []  # int64: sum_s r_s
+        self._spikes: list[np.ndarray] = []  # int64: max_s r_s
+        self._sq: list[np.ndarray] = []  # int64: sum_s r_s^2
+        self._rate_w: list[np.ndarray] = []  # float64: sum_s rates_s*r_s
+        self._rate_sum = 0.0
+        self._rate_sq = 0.0
+        self._num_servers = 0
 
     def bind(self, ctx: ProbeContext) -> None:
         super().bind(ctx)
         rates = np.asarray(ctx.rates, dtype=np.float64)
-        self._share = rates / rates.sum()
+        self._rates = rates.copy()
+        self._rate_sum = float(rates.sum())
+        self._rate_sq = float((rates * rates).sum())
+        self._num_servers = int(rates.size)
 
     def observe_block(self, block: ProbeBlock) -> None:
         received = block.received
-        totals = received.sum(axis=1, dtype=np.float64)
-        self.stats.observe_many(received, totals[:, None] * self._share)
+        self._totals.append(received.sum(axis=1))
+        self._spikes.append(received.max(axis=1))
+        self._sq.append((received * received).sum(axis=1))
+        self._rate_w.append(received @ self._rates)
+
+    def _series(self, which: list[np.ndarray], dtype) -> np.ndarray:
+        """Collapse a per-block list into its single concatenated array."""
+        if not which:
+            return np.zeros(0, dtype=dtype)
+        if len(which) > 1:
+            which[:] = [np.concatenate(which)]
+        return np.asarray(which[0], dtype=dtype)
 
     def summary(self) -> dict[str, float]:
-        stats = self.stats
+        totals = self._series(self._totals, np.int64)
+        active = totals > 0
+        rounds = int(active.sum())
+        if rounds == 0 or self._rate_sum == 0.0 or self._num_servers == 0:
+            return {
+                "rounds": 0.0,
+                "max_spike": 0.0,
+                "mean_spike": 0.0,
+                "mean_imbalance": 0.0,
+            }
+        spikes = self._series(self._spikes, np.int64)[active]
+        sq = self._series(self._sq, np.int64)[active].astype(np.float64)
+        rate_w = self._series(self._rate_w, np.float64)[active]
+        t = totals[active].astype(np.float64)
+        scale = t / self._rate_sum
+        # Sum of squared deviations from the rate-proportional share;
+        # clamp tiny negative cancellation residue before the sqrt.
+        ss = sq - 2.0 * scale * rate_w + scale * scale * self._rate_sq
+        deviation = np.sqrt(np.maximum(ss, 0.0) / self._num_servers)
         return {
-            "rounds": float(stats.rounds_observed),
-            "max_spike": float(stats.max_spike),
-            "mean_spike": float(stats.mean_spike),
-            "mean_imbalance": float(stats.mean_imbalance),
+            "rounds": float(rounds),
+            "max_spike": float(spikes.max()),
+            "mean_spike": float(int(spikes.sum()) / rounds),
+            "mean_imbalance": float((deviation / t).sum() / rounds),
         }
 
     def merge(self, other: "Probe") -> None:
+        """Pool replications / consecutive time shards of the *same
+        system*: the per-round series concatenate along the round axis
+        (rate scalars must match -- different systems cannot pool)."""
         self._check_merge(other)
-        self.stats.merge(other.stats)
+        self._check_same_system(other)
+        self._totals.append(other._series(other._totals, np.int64))
+        self._spikes.append(other._series(other._spikes, np.int64))
+        self._sq.append(other._series(other._sq, np.int64))
+        self._rate_w.append(other._series(other._rate_w, np.float64))
+
+    def merge_partition(self, other: "Probe") -> None:
+        """Fold in a *server shard* over the same rounds: totals,
+        squares and rate-weighted sums add element-wise, spikes max,
+        and the rate scalars accumulate toward the global values."""
+        self._check_merge(other)
+        totals = self._series(self._totals, np.int64)
+        other_totals = other._series(other._totals, np.int64)
+        if totals.size != other_totals.size:
+            raise ValueError(
+                "server shards of one simulation must cover the same "
+                f"rounds; got {totals.size} vs {other_totals.size}"
+            )
+        self._totals = [totals + other_totals]
+        self._spikes = [
+            np.maximum(
+                self._series(self._spikes, np.int64),
+                other._series(other._spikes, np.int64),
+            )
+        ]
+        self._sq = [
+            self._series(self._sq, np.int64)
+            + other._series(other._sq, np.int64)
+        ]
+        self._rate_w = [
+            self._series(self._rate_w, np.float64)
+            + other._series(other._rate_w, np.float64)
+        ]
+        self._rate_sum += other._rate_sum
+        self._rate_sq += other._rate_sq
+        self._num_servers += other._num_servers
+
+    def _check_same_system(self, other: "HerdingSignalProbe") -> None:
+        if (
+            self._num_servers != other._num_servers
+            or self._rate_sum != other._rate_sum
+            or self._rate_sq != other._rate_sq
+        ):
+            raise ValueError(
+                "herding merge pools runs of the same system; rate "
+                "scalars differ (use merge_partition for server shards)"
+            )
 
     def get_state(self) -> dict:
-        return self.stats.get_state()
+        return {
+            "totals": self._series(self._totals, np.int64).tolist(),
+            "spikes": self._series(self._spikes, np.int64).tolist(),
+            "sq": self._series(self._sq, np.int64).tolist(),
+            "rate_weighted": self._series(self._rate_w, np.float64).tolist(),
+            "rate_sum": self._rate_sum,
+            "rate_sq": self._rate_sq,
+            "num_servers": self._num_servers,
+        }
 
     def set_state(self, state: dict) -> None:
-        self.stats.set_state(state)
+        self._totals = [np.asarray(state.get("totals", ()), dtype=np.int64)]
+        self._spikes = [np.asarray(state.get("spikes", ()), dtype=np.int64)]
+        self._sq = [np.asarray(state.get("sq", ()), dtype=np.int64)]
+        self._rate_w = [
+            np.asarray(state.get("rate_weighted", ()), dtype=np.float64)
+        ]
+        self._rate_sum = float(state.get("rate_sum", 0.0))
+        self._rate_sq = float(state.get("rate_sq", 0.0))
+        self._num_servers = int(state.get("num_servers", 0))
 

@@ -62,6 +62,7 @@ import numpy as np
 
 from .backends import _CHUNK_ROUNDS, EngineBackend, register_backend
 from .batchstore import BatchQueueStore, SizedBatchQueueStore
+from .lifecycle import RunController, validate_start_round
 from .probes import (
     Probe,
     ProbeBlock,
@@ -272,6 +273,28 @@ class ShardWorker:
         """``state_dict`` of every probe, in :meth:`ShardInit.probe_labels` order."""
         return [probe.state_dict() for probe in self.probes.as_dict().values()]
 
+    def snapshot_state(self) -> dict:
+        """Everything that varies over a run, for block-aligned checkpoints.
+
+        Returns live references (serial strategy) or the payload that
+        crosses the pipe (process strategy); either way the caller
+        serializes before the worker processes another block.
+        """
+        return {
+            "store": self.store,
+            "queues": self.queues,
+            "probes": self.probes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` payload (resume mid-run)."""
+        self.store = state["store"]
+        self.queues = state["queues"]
+        self.probes = state["probes"]
+        self._sink = (
+            self.probes.observe_responses if self.probes.wants_responses else None
+        )
+
 
 def split_probe_specs(
     specs: Sequence["str | ProbeSpec"],
@@ -324,8 +347,16 @@ class ShardStrategy(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def start(self, inits: Sequence[ShardInit]) -> None:
-        """Materialize one worker per :class:`ShardInit`."""
+    def start(
+        self,
+        inits: Sequence[ShardInit],
+        states: Sequence[dict] | None = None,
+    ) -> None:
+        """Materialize one worker per :class:`ShardInit`.
+
+        ``states`` (one :meth:`ShardWorker.snapshot_state` payload per
+        shard, from a checkpoint) restores each worker mid-run.
+        """
 
     @abstractmethod
     def feed(self, shard: int, payload: tuple) -> None:
@@ -334,6 +365,16 @@ class ShardStrategy(ABC):
         ``payload`` is the positional argument tuple of
         :meth:`ShardWorker.process_block` (unsized) or
         :meth:`ShardWorker.process_sized_block` (sized).
+        """
+
+    @abstractmethod
+    def snapshot(self) -> list[dict]:
+        """Every shard's :meth:`ShardWorker.snapshot_state`, in shard order.
+
+        Synchronous: a worker answers only after consuming every block
+        fed so far, so the snapshot is exactly the state at the current
+        block boundary.  Serial-strategy payloads are live references --
+        serialize before feeding another block.
         """
 
     @abstractmethod
@@ -354,8 +395,15 @@ class SerialShardStrategy(ShardStrategy):
 
     name = "serial"
 
-    def start(self, inits: Sequence[ShardInit]) -> None:
+    def start(
+        self,
+        inits: Sequence[ShardInit],
+        states: Sequence[dict] | None = None,
+    ) -> None:
         self._workers = [ShardWorker(init) for init in inits]
+        if states is not None:
+            for worker, state in zip(self._workers, states):
+                worker.restore_state(state)
 
     def feed(self, shard: int, payload: tuple) -> None:
         worker = self._workers[shard]
@@ -363,6 +411,9 @@ class SerialShardStrategy(ShardStrategy):
             worker.process_sized_block(*payload)
         else:
             worker.process_block(*payload)
+
+    def snapshot(self) -> list[dict]:
+        return [worker.snapshot_state() for worker in self._workers]
 
     def finish(self) -> list[dict[str, Probe]]:
         return [worker.probes.as_dict() for worker in self._workers]
@@ -380,6 +431,10 @@ def _shard_worker_main(conn, init: ShardInit) -> None:
                     worker.process_sized_block(*message[1:])
                 else:
                     worker.process_block(*message[1:])
+            elif kind == "restore":
+                worker.restore_state(message[1])
+            elif kind == "snapshot":
+                conn.send(("state", worker.snapshot_state()))
             elif kind == "finish":
                 conn.send(("done", worker.probe_states()))
                 return
@@ -411,7 +466,11 @@ class MultiprocessShardStrategy(ShardStrategy):
 
     name = "process"
 
-    def start(self, inits: Sequence[ShardInit]) -> None:
+    def start(
+        self,
+        inits: Sequence[ShardInit],
+        states: Sequence[dict] | None = None,
+    ) -> None:
         context = multiprocessing.get_context()
         self._inits = list(inits)
         self._conns = []
@@ -425,12 +484,31 @@ class MultiprocessShardStrategy(ShardStrategy):
             child_conn.close()
             self._conns.append(parent_conn)
             self._processes.append(process)
+        if states is not None:
+            for shard, state in enumerate(states):
+                try:
+                    self._conns[shard].send(("restore", state))
+                except (BrokenPipeError, OSError):
+                    self._raise_shard_failure(shard)
 
     def feed(self, shard: int, payload: tuple) -> None:
         try:
             self._conns[shard].send(("block",) + payload)
         except (BrokenPipeError, OSError):
             self._raise_shard_failure(shard)
+
+    def snapshot(self) -> list[dict]:
+        states: list[dict] = []
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(("snapshot",))
+                kind, payload = conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                self._raise_shard_failure(shard)
+            if kind == "error":
+                raise RuntimeError(f"shard {shard} failed: {payload}")
+            states.append(payload)
+        return states
 
     def finish(self) -> list[dict[str, Probe]]:
         shard_maps: list[dict[str, Probe]] = []
@@ -587,7 +665,9 @@ class ShardedBackend(_ShardedParams, EngineBackend):
         "policies)"
     )
 
-    def run(self, sim: "Simulation") -> "SimulationResult":
+    def run(
+        self, sim: "Simulation", controller: RunController | None = None
+    ) -> "SimulationResult":
         from repro.policies.base import has_native_dispatch_round
 
         from .engine import SimulationResult
@@ -605,23 +685,39 @@ class ShardedBackend(_ShardedParams, EngineBackend):
         plan = ShardPlan.balanced(n, self.shards)
         ranges = plan.ranges()
         shard_specs, coordinator_specs = split_probe_specs(config.probes)
-        coordinator_probes = ProbeSet(
-            [(spec.label, spec.build()) for spec in coordinator_specs],
-            ProbeContext(
-                num_servers=n,
-                num_dispatchers=m,
-                rates=sim.rates,
-                rounds=config.rounds,
-                warmup=config.warmup,
-                sized=False,
-            ),
-        )
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, config.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            coordinator_probes = state["coordinator_probes"]
+            queues = state["queues"]
+            total_arrived = state["total_arrived"]
+            server_received = state["server_received"]
+            server_departed = state["server_departed"]
+            shard_states = state["shards"]
+        else:
+            coordinator_probes = ProbeSet(
+                [(spec.label, spec.build()) for spec in coordinator_specs],
+                ProbeContext(
+                    num_servers=n,
+                    num_dispatchers=m,
+                    rates=sim.rates,
+                    rounds=config.rounds,
+                    warmup=config.warmup,
+                    sized=False,
+                ),
+            )
+            queues = np.zeros(n, dtype=np.int64)
+            total_arrived = 0
+            server_received = np.zeros(n, dtype=np.int64)
+            server_departed = np.zeros(n, dtype=np.int64)
+            shard_states = None
         need_queues = "queues" in coordinator_probes.fields
         strategy = _STRATEGIES[self.strategy]()
-        queues = np.zeros(n, dtype=np.int64)
-        total_arrived = 0
-        server_received = np.zeros(n, dtype=np.int64)
-        server_departed = np.zeros(n, dtype=np.int64)
 
         try:
             strategy.start(
@@ -634,9 +730,10 @@ class ShardedBackend(_ShardedParams, EngineBackend):
                     sized=False,
                     track_queue_series=config.track_queue_series,
                     probe_specs=shard_specs,
-                )
+                ),
+                states=shard_states,
             )
-            for chunk_start in range(0, config.rounds, _CHUNK_ROUNDS):
+            for chunk_start in range(start_round, config.rounds, _CHUNK_ROUNDS):
                 chunk = min(_CHUNK_ROUNDS, config.rounds - chunk_start)
                 arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
                 capacity_block = service.sample_many(
@@ -721,6 +818,18 @@ class ShardedBackend(_ShardedParams, EngineBackend):
                             queues=queue_block,
                         )
                     )
+                if controller is not None:
+                    controller.after_block(
+                        chunk_start + chunk,
+                        lambda: {
+                            "coordinator_probes": coordinator_probes,
+                            "queues": queues,
+                            "total_arrived": total_arrived,
+                            "server_received": server_received,
+                            "server_departed": server_departed,
+                            "shards": strategy.snapshot(),
+                        },
+                    )
             folded = _fold_shards(strategy.finish())
         finally:
             strategy.close()
@@ -770,7 +879,9 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
         "policies)"
     )
 
-    def run(self, sim: "SizedSimulation") -> "SizedSimulationResult":
+    def run(
+        self, sim: "SizedSimulation", controller: RunController | None = None
+    ) -> "SizedSimulationResult":
         from .sized import SizedSimulationResult
 
         policy = sim.policy
@@ -786,23 +897,39 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
         ranges = plan.ranges()
         bounds = np.asarray(plan.bounds, dtype=np.int64)
         shard_specs, coordinator_specs = split_probe_specs(sim.probes)
-        coordinator_probes = ProbeSet(
-            [(spec.label, spec.build()) for spec in coordinator_specs],
-            ProbeContext(
-                num_servers=n,
-                num_dispatchers=m,
-                rates=sim.rates,
-                rounds=sim.rounds,
-                warmup=sim.warmup,
-                sized=True,
-            ),
-        )
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, sim.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            coordinator_probes = state["coordinator_probes"]
+            unit_queues = state["unit_queues"]
+            total_jobs = state["total_jobs"]
+            units_in = state["units_in"]
+            units_out = state["units_out"]
+            shard_states = state["shards"]
+        else:
+            coordinator_probes = ProbeSet(
+                [(spec.label, spec.build()) for spec in coordinator_specs],
+                ProbeContext(
+                    num_servers=n,
+                    num_dispatchers=m,
+                    rates=sim.rates,
+                    rounds=sim.rounds,
+                    warmup=sim.warmup,
+                    sized=True,
+                ),
+            )
+            unit_queues = np.zeros(n, dtype=np.int64)
+            total_jobs = 0
+            units_in = 0
+            units_out = 0
+            shard_states = None
         need_queues = "queues" in coordinator_probes.fields
         strategy = _STRATEGIES[self.strategy]()
-        unit_queues = np.zeros(n, dtype=np.int64)
-        total_jobs = 0
-        units_in = 0
-        units_out = 0
         # Flat (dispatcher-major) cell index -> server, as in the sized
         # fast kernel.
         cell_server = np.tile(np.arange(n), m)
@@ -818,9 +945,10 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
                     sized=True,
                     track_queue_series=True,
                     probe_specs=shard_specs,
-                )
+                ),
+                states=shard_states,
             )
-            for chunk_start in range(0, sim.rounds, _CHUNK_ROUNDS):
+            for chunk_start in range(start_round, sim.rounds, _CHUNK_ROUNDS):
                 chunk = min(_CHUNK_ROUNDS, sim.rounds - chunk_start)
 
                 # Phase 1 (pre-sampled): arrivals and sizes, interleaved
@@ -935,6 +1063,18 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
                             done=done_block if "done" in fields else None,
                             queues=queue_block,
                         )
+                    )
+                if controller is not None:
+                    controller.after_block(
+                        chunk_start + chunk,
+                        lambda: {
+                            "coordinator_probes": coordinator_probes,
+                            "unit_queues": unit_queues,
+                            "total_jobs": total_jobs,
+                            "units_in": units_in,
+                            "units_out": units_out,
+                            "shards": strategy.snapshot(),
+                        },
                     )
             folded = _fold_shards(strategy.finish())
         finally:

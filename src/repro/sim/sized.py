@@ -245,6 +245,7 @@ class SizedSimulation:
         self.sizes = sizes
         self.rounds = int(rounds)
         self.warmup = int(warmup)
+        self.seed = int(seed)
         self.backend = backend
         self.probes = tuple(ProbeSpec.of(p) for p in probes)
         self._streams = spawn_streams(seed)
@@ -258,8 +259,13 @@ class SizedSimulation:
         arrivals.reset()
         service.reset()
 
-    def run(self) -> SizedSimulationResult:
-        """Execute all rounds via the configured backend (see ``sizedbackends``)."""
+    def run(self, controller=None) -> SizedSimulationResult:
+        """Execute all rounds via the configured backend (see ``sizedbackends``).
+
+        ``controller`` is the optional run-lifecycle seam
+        (:class:`repro.sim.lifecycle.RunController`), exactly as in
+        :meth:`repro.sim.engine.Simulation.run`.
+        """
         from .sizedbackends import make_sized_backend
 
-        return make_sized_backend(self.backend).run(self)
+        return make_sized_backend(self.backend).run(self, controller)

@@ -49,6 +49,7 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import SizedBatchQueueStore
+from .lifecycle import RunController, validate_start_round
 from .probes import (
     BlockRecorder,
     ProbeBlock,
@@ -81,8 +82,15 @@ class SizedEngineBackend(ABC):
     description: str = ""
 
     @abstractmethod
-    def run(self, sim: "SizedSimulation") -> "SizedSimulationResult":
-        """Execute ``sim.rounds`` rounds and collect the metrics."""
+    def run(
+        self, sim: "SizedSimulation", controller: RunController | None = None
+    ) -> "SizedSimulationResult":
+        """Execute ``sim.rounds`` rounds and collect the metrics.
+
+        ``controller`` is the optional run-lifecycle seam
+        (:mod:`repro.sim.lifecycle`), exactly as in
+        :meth:`repro.sim.backends.EngineBackend.run`.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -134,25 +142,44 @@ class SizedReferenceBackend(SizedEngineBackend):
         "the simple, bit-exact default"
     )
 
-    def run(self, sim: "SizedSimulation") -> "SizedSimulationResult":
+    def run(
+        self, sim: "SizedSimulation", controller: RunController | None = None
+    ) -> "SizedSimulationResult":
         from .sized import SizedServerQueue
 
         n = sim.rates.size
         m = sim.arrivals.num_dispatchers
         arrival_rng = sim._streams.arrivals
         departure_rng = sim._streams.departures
-        servers = [SizedServerQueue() for _ in range(n)]
-        unit_queues = np.zeros(n, dtype=np.int64)
-        probes = _probe_set_for(sim)
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, sim.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            servers = state["servers"]
+            unit_queues = state["unit_queues"]
+            probes = state["probes"]
+            total_jobs = state["total_jobs"]
+            units_in = state["units_in"]
+            units_out = state["units_out"]
+        else:
+            servers = [SizedServerQueue() for _ in range(n)]
+            unit_queues = np.zeros(n, dtype=np.int64)
+            probes = _probe_set_for(sim)
+            total_jobs = 0
+            units_in = 0
+            units_out = 0
         histogram = probes.histogram
         series = probes.queue_series
+        # A fresh recorder is correct on resume: its buffer is empty at
+        # every block boundary (it auto-flushes exactly there).
         recorder = BlockRecorder(probes, _CHUNK_ROUNDS)
         tee = ResponseTee(probes, histogram) if probes.wants_responses else None
-        total_jobs = 0
-        units_in = 0
-        units_out = 0
 
-        for t in range(sim.rounds):
+        for t in range(start_round, sim.rounds):
             batch = sim.arrivals.sample(arrival_rng, t)
             round_jobs = int(batch.sum())
             total_jobs += round_jobs
@@ -196,6 +223,8 @@ class SizedReferenceBackend(SizedEngineBackend):
             )
             busy = np.flatnonzero((unit_queues > 0) & (capacities > 0))
             for s in busy:
+                if tee is not None and sink is tee:
+                    tee.server = int(s)
                 done = servers[s].complete(int(capacities[s]), t, sink)
                 unit_queues[s] -= done
                 units_out += done
@@ -207,6 +236,18 @@ class SizedReferenceBackend(SizedEngineBackend):
             recorder.record(t, batch, received_units, done_row, unit_queues)
             if tee is not None and sink is tee:
                 tee.flush(t)
+            if controller is not None and (t + 1) % _CHUNK_ROUNDS == 0:
+                controller.after_block(
+                    t + 1,
+                    lambda: {
+                        "servers": servers,
+                        "unit_queues": unit_queues,
+                        "probes": probes,
+                        "total_jobs": total_jobs,
+                        "units_in": units_in,
+                        "units_out": units_out,
+                    },
+                )
         recorder.flush()
 
         return _make_result(
@@ -263,7 +304,9 @@ class SizedFastBackend(SizedEngineBackend):
         "deterministic policies)"
     )
 
-    def run(self, sim: "SizedSimulation") -> "SizedSimulationResult":
+    def run(
+        self, sim: "SizedSimulation", controller: RunController | None = None
+    ) -> "SizedSimulationResult":
         policy = sim.policy
         arrivals = sim.arrivals
         service = sim.service
@@ -273,9 +316,27 @@ class SizedFastBackend(SizedEngineBackend):
 
         n = sim.rates.size
         m = arrivals.num_dispatchers
-        store = SizedBatchQueueStore(n)
-        unit_queues = np.zeros(n, dtype=np.int64)
-        probes = _probe_set_for(sim)
+        start_round = 0
+        state = None
+        if controller is not None:
+            start_round = validate_start_round(
+                controller.start_round, sim.rounds, _CHUNK_ROUNDS
+            )
+            state = controller.initial_state()
+        if state is not None:
+            store = state["store"]
+            unit_queues = state["unit_queues"]
+            probes = state["probes"]
+            total_jobs = state["total_jobs"]
+            units_in = state["units_in"]
+            units_out = state["units_out"]
+        else:
+            store = SizedBatchQueueStore(n)
+            unit_queues = np.zeros(n, dtype=np.int64)
+            probes = _probe_set_for(sim)
+            total_jobs = 0
+            units_in = 0
+            units_out = 0
         histogram = probes.histogram
         series = probes.queue_series
         need_queues = "queues" in probes.fields
@@ -284,15 +345,12 @@ class SizedFastBackend(SizedEngineBackend):
         response_sink = (
             probes.observe_responses if probes.wants_responses else None
         )
-        total_jobs = 0
-        units_in = 0
-        units_out = 0
         # Flat (dispatcher-major) cell index -> server, matching both the
         # C-order ravel of a dispatch_round matrix and the order in which
         # the reference assigns a dispatcher's sizes to servers.
         cell_server = np.tile(np.arange(n), m)
 
-        for chunk_start in range(0, sim.rounds, _CHUNK_ROUNDS):
+        for chunk_start in range(start_round, sim.rounds, _CHUNK_ROUNDS):
             chunk = min(_CHUNK_ROUNDS, sim.rounds - chunk_start)
 
             # Phase 1 (pre-sampled): arrivals and sizes, interleaved
@@ -409,6 +467,18 @@ class SizedFastBackend(SizedEngineBackend):
                         done=done_block if need_done_rows else None,
                         queues=queue_block,
                     )
+                )
+            if controller is not None:
+                controller.after_block(
+                    chunk_start + chunk,
+                    lambda: {
+                        "store": store,
+                        "unit_queues": unit_queues,
+                        "probes": probes,
+                        "total_jobs": total_jobs,
+                        "units_in": units_in,
+                        "units_out": units_out,
+                    },
                 )
 
         return _make_result(

@@ -40,11 +40,12 @@ from repro.sim.service import GeometricService
 DETERMINISTIC_POLICIES = ["jsq", "sed", "rr", "wrr"]
 #: Stateful / stochastic policies without a native batch path: they run
 #: through the fallback, so they must also be bit-identical.
-FALLBACK_POLICIES = ["scd", "twf", "jiq", "led"]
-#: Native batch paths that restructure no RNG consumption (LSQ's
-#: vectorized sampled refreshes draw the identical stream): these must
-#: also stay bit-identical across backends.
-NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq"]
+FALLBACK_POLICIES = ["scd", "twf"]
+#: Native batch paths that restructure no RNG consumption (LSQ/LED's
+#: vectorized sampled refreshes and JIQ's fused empty-idle fallback draw
+#: the identical stream): these must also stay bit-identical across
+#: backends.
+NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq", "led", "jiq"]
 #: Stochastic policies with native batch paths: exact accounting plus
 #: statistical equivalence only.
 NATIVE_STOCHASTIC_POLICIES = ["wr", "random", "jsq(2)", "hjsq(2)"]

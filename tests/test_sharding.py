@@ -54,8 +54,8 @@ from repro.sim.sizedbackends import available_sized_backends, make_sized_backend
 
 #: Each parity family must stay bit-identical to "fast" under sharding.
 DETERMINISTIC_POLICIES = ["jsq", "sed", "rr", "wrr"]
-FALLBACK_POLICIES = ["scd", "jiq", "led"]
-NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq"]
+FALLBACK_POLICIES = ["scd"]
+NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq", "led", "jiq"]
 #: Native stochastic batch paths: exact accounting + same workload only.
 NATIVE_STOCHASTIC_POLICIES = ["wr", "jsq(2)"]
 
@@ -138,6 +138,13 @@ def assert_same_probe_summaries(a, b):
         other = summaries_b[label]
         assert list(summary) == list(other)
         for key, value in summary.items():
+            if label == "herding" and key == "mean_imbalance":
+                # The only non-integer-derived statistic: shards
+                # accumulate the rate-weighted sums in a different
+                # float addition order than the unsharded kernels.
+                assert value == pytest.approx(other[key], rel=1e-9), (
+                    label, key, value, other[key])
+                continue
             assert value == other[key] or (
                 np.isnan(value) and np.isnan(other[key])
             ), (label, key, value, other[key])
@@ -489,8 +496,8 @@ class TestMergePartition:
         assert QueueSeriesProbe.partitionable
         assert ServerStatsProbe.partitionable
         assert WindowedMeanProbe.partitionable
+        assert HerdingSignalProbe.partitionable
         assert not DispatcherStatsProbe.partitionable
-        assert not HerdingSignalProbe.partitionable
         assert not Probe.partitionable  # custom probes default to global feed
 
 
@@ -499,8 +506,10 @@ class TestProbeRouting:
         shard, coordinator = split_probe_specs(
             ("server_stats", "herding", "windowed_mean", "dispatcher_stats")
         )
-        assert [s.name for s in shard] == ["server_stats", "windowed_mean"]
-        assert [s.name for s in coordinator] == ["herding", "dispatcher_stats"]
+        assert [s.name for s in shard] == [
+            "server_stats", "herding", "windowed_mean"
+        ]
+        assert [s.name for s in coordinator] == ["dispatcher_stats"]
 
     def test_custom_global_probe_matches_fast(self):
         """A naive custom probe (all fields, not partitionable) runs in
