@@ -28,15 +28,33 @@ is that the partition machinery itself stays cheap).  Every cell also
 records the process peak RSS (``ru_maxrss``, a monotone high-water mark
 over the run) so the perf record tracks memory alongside throughput.
 
-Under ``pytest benchmarks`` a single smoke cell per engine (sharded
-included) runs and validates the record's shape without asserting
-timings (CI boxes are too noisy for a gating speedup threshold).
+Two hardware-dependent cells gate conditionally:
+
+* A compiled cell (``--compiled-sizes``, default 200x100) times the
+  ``compiled`` kernel against both ``reference`` and ``fast`` on ``rr``
+  (the policy with a jitted whole-block round loop).  ``--check`` bars
+  the compiled/reference speedup at 10x at 200x100 **only when numba is
+  importable**; without numba the cell still runs (recording the
+  fallback's numbers plus ``numba_active: false``) but the gate
+  auto-skips -- the fallback *is* the fast kernel, which has its own
+  bar.
+* A multi-CPU profile cell (``--process-sizes``, default 200x100) times
+  ``sharded:N:process`` -- the async round pipeline -- against the fast
+  kernel.  ``--check`` requires a real wall-clock speedup (>1.0x) **only
+  when the box has at least two CPUs**; on 1-CPU boxes the cell records
+  its numbers and the gate auto-skips.
+
+Under ``pytest benchmarks`` a single smoke cell per engine (sharded,
+compiled, and process included) runs and validates the record's shape
+without asserting timings (CI boxes are too noisy for a gating speedup
+threshold).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -60,6 +78,8 @@ DEFAULT_SIZED_SIZES = ("20x10", "100x50")
 DEFAULT_SIZED_POLICIES = ("jsq", "rr", "wrr")
 DEFAULT_PROBE_SIZES = ("100x50",)
 DEFAULT_SHARDED_SIZES = ("200x100",)
+DEFAULT_COMPILED_SIZES = ("200x100",)
+DEFAULT_PROCESS_SIZES = ("200x100",)
 DEFAULT_CHECKPOINT_SIZES = ("100x50",)
 #: Checkpoint cadence for the run-lifecycle overhead cell (blocks).
 CHECKPOINT_EVERY = 4
@@ -83,6 +103,13 @@ SHARD_OVERHEAD_TARGET = 0.25
 #: :data:`CHECKPOINT_EVERY` blocks, telemetry streaming) may cost at
 #: most this fraction over the plain fast-kernel run it wraps.
 CHECKPOINT_OVERHEAD_TARGET = 0.10
+#: Acceptance bar: compiled/reference rounds-per-second at the 200x100
+#: grid point -- gated by ``--check`` only when numba is importable.
+COMPILED_TARGET_SPEEDUP = 10.0
+COMPILED_TARGET_SIZE = "200x100"
+#: The policy the compiled cell times: deterministic (bit-exact across
+#: all three backends) and owner of a jitted whole-block round loop.
+COMPILED_POLICY = "rr"
 
 
 def _parse_size(token: str) -> tuple[int, int]:
@@ -251,6 +278,110 @@ def time_sharded_cell(
     return cell
 
 
+def time_compiled_cell(
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """The ``compiled`` kernel against reference AND fast.
+
+    Records whether the jitted paths were actually live
+    (``numba_active``): without numba the compiled backend falls back to
+    the fast kernel's numpy paths, so the cell then documents fallback
+    parity rather than a jit win -- and the ``--check`` gate skips.
+    """
+    from repro.sim.compiled import numba_enabled
+
+    cell: dict = {
+        "engine": "compiled",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "numba_active": numba_enabled(),
+    }
+    means = {}
+    for backend in ("reference", "fast", "compiled"):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        means[backend] = result.mean_response_time
+        cell[f"{backend}_seconds"] = best
+        cell[f"{backend}_rounds_per_sec"] = rounds / best
+    cell["speedup"] = (
+        cell["compiled_rounds_per_sec"] / cell["reference_rounds_per_sec"]
+    )
+    cell["speedup_vs_fast"] = (
+        cell["compiled_rounds_per_sec"] / cell["fast_rounds_per_sec"]
+    )
+    cell["reference_mean_response"] = means["reference"]
+    cell["fast_mean_response"] = means["fast"]
+    cell["compiled_mean_response"] = means["compiled"]
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
+def time_process_cell(
+    policy: str,
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+    shards: int = 2,
+) -> dict:
+    """Multi-CPU profile: ``sharded:N:process`` (the async round
+    pipeline) against the fast kernel, in wall-clock terms.
+
+    Unlike the serial shard cell this one is allowed -- required, on a
+    multi-CPU box -- to be genuinely *faster* than fast: the coordinator
+    dispatches round ``t+1`` while worker processes resolve block ``t``.
+    Records ``cpu_count`` so ``--check`` can gate only where a speedup
+    is physically possible.
+    """
+    cell: dict = {
+        "engine": "process",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "shards": shards,
+        "strategy": "process",
+        "cpu_count": os.cpu_count(),
+    }
+    means = {}
+    for label, backend in (
+        ("fast", "fast"),
+        ("process", f"sharded:{shards}:process"),
+    ):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(policy, n, m, rho, rounds, seed, backend)
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        means[label] = result.mean_response_time
+        cell[f"{label}_seconds"] = best
+        cell[f"{label}_rounds_per_sec"] = rounds / best
+    cell["process_speedup"] = cell["fast_seconds"] / cell["process_seconds"]
+    cell["fast_mean_response"] = means["fast"]
+    cell["process_mean_response"] = means["process"]
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
 def time_probe_overhead(
     policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
 ) -> dict:
@@ -368,6 +499,8 @@ def run_grid(
     sharded_sizes: tuple[str, ...] = (),
     shards: int = 2,
     checkpoint_sizes: tuple[str, ...] = (),
+    compiled_sizes: tuple[str, ...] = (),
+    process_sizes: tuple[str, ...] = (),
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -387,6 +520,21 @@ def run_grid(
                     f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
                     f"speedup={cell['speedup']:.2f}x"
                 )
+    compiled_cells = []
+    for token in compiled_sizes:
+        n, m = _parse_size(token)
+        cell = time_compiled_cell(
+            COMPILED_POLICY, n, m, rho, rounds, seed, repeats
+        )
+        cells.append(cell)
+        compiled_cells.append(cell)
+        jit = "jit" if cell["numba_active"] else "fallback"
+        print(
+            f"compiled n={n:4d} m={m:3d} {COMPILED_POLICY:6s} "
+            f"ref={cell['reference_rounds_per_sec']:9.0f} r/s  "
+            f"compiled={cell['compiled_rounds_per_sec']:9.0f} r/s ({jit})  "
+            f"speedup={cell['speedup']:.2f}x"
+        )
     shard_overheads = []
     for token in sharded_sizes:
         n, m = _parse_size(token)
@@ -398,6 +546,21 @@ def run_grid(
             f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
             f"sharded:{shards}={cell['sharded_rounds_per_sec']:9.0f} r/s  "
             f"overhead={100 * cell['shard_overhead_fraction']:+.1f}%"
+        )
+    process_cells = []
+    for token in process_sizes:
+        n, m = _parse_size(token)
+        cell = time_process_cell(
+            "jsq", n, m, rho, rounds, seed, repeats, shards
+        )
+        cells.append(cell)
+        process_cells.append(cell)
+        print(
+            f"process n={n:4d} m={m:3d} jsq    "
+            f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
+            f"sharded:{shards}:process={cell['process_rounds_per_sec']:9.0f} r/s  "
+            f"speedup={cell['process_speedup']:.2f}x "
+            f"(cpus={cell['cpu_count']})"
         )
     probe_overheads = []
     for token in probe_sizes:
@@ -439,6 +602,8 @@ def run_grid(
             "probe_sizes": list(probe_sizes),
             "sharded_sizes": list(sharded_sizes),
             "shards": shards,
+            "compiled_sizes": list(compiled_sizes),
+            "process_sizes": list(process_sizes),
             "checkpoint_sizes": list(checkpoint_sizes),
             "checkpoint_every": CHECKPOINT_EVERY,
             "mean_size": mean_size,
@@ -466,6 +631,24 @@ def run_grid(
             "checkpoint_overhead_fraction": (
                 max(checkpoint_overheads) if checkpoint_overheads else None
             ),
+            "compiled_target_size": COMPILED_TARGET_SIZE,
+            "compiled_target_speedup": COMPILED_TARGET_SPEEDUP,
+            "compiled_best_speedup": max(
+                (
+                    c["speedup"]
+                    for c in compiled_cells
+                    if f"{c['num_servers']}x{c['num_dispatchers']}"
+                    == COMPILED_TARGET_SIZE
+                ),
+                default=None,
+            ),
+            "numba_available": (
+                compiled_cells[0]["numba_active"] if compiled_cells else None
+            ),
+            "process_best_speedup": max(
+                (c["process_speedup"] for c in process_cells), default=None
+            ),
+            "cpu_count": os.cpu_count(),
             "peak_rss_kb": _peak_rss_kb(),
         },
     }
@@ -514,6 +697,22 @@ def main(argv: list[str] | None = None) -> int:
         help="shard count for the sharded cell",
     )
     parser.add_argument(
+        "--compiled-sizes",
+        nargs="*",
+        default=list(DEFAULT_COMPILED_SIZES),
+        metavar="NxM",
+        help="grid points for the compiled-kernel cell (compiled vs "
+        "reference and fast on rr; empty list skips it)",
+    )
+    parser.add_argument(
+        "--process-sizes",
+        nargs="*",
+        default=list(DEFAULT_PROCESS_SIZES),
+        metavar="NxM",
+        help="grid points for the multi-CPU profile cell "
+        "(sharded:N:process wall clock vs fast; empty list skips it)",
+    )
+    parser.add_argument(
         "--checkpoint-sizes",
         nargs="*",
         default=list(DEFAULT_CHECKPOINT_SIZES),
@@ -535,7 +734,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(sized), the all-probes overhead stays under "
         f"{PROBE_OVERHEAD_TARGET:.0%}, the serial shard overhead "
         f"stays under {SHARD_OVERHEAD_TARGET:.0%}, and the checkpointed-run "
-        f"overhead stays under {CHECKPOINT_OVERHEAD_TARGET:.0%}",
+        f"overhead stays under {CHECKPOINT_OVERHEAD_TARGET:.0%}; also bars "
+        f"the compiled kernel at {COMPILED_TARGET_SPEEDUP:.0f}x over "
+        f"reference at {COMPILED_TARGET_SIZE} when numba is importable, and "
+        f"requires a sharded:N:process wall-clock speedup (>1x) on "
+        f"multi-CPU boxes (both auto-skip where the hardware cannot "
+        f"deliver them)",
     )
     args = parser.parse_args(argv)
 
@@ -553,6 +757,8 @@ def main(argv: list[str] | None = None) -> int:
         sharded_sizes=tuple(args.sharded_sizes),
         shards=args.shards,
         checkpoint_sizes=tuple(args.checkpoint_sizes),
+        compiled_sizes=tuple(args.compiled_sizes),
+        process_sizes=tuple(args.process_sizes),
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -604,6 +810,55 @@ def main(argv: list[str] | None = None) -> int:
                     f"OK ({label}): {100 * overhead:.1f}% <= "
                     f"{100 * target:.0f}%"
                 )
+    compiled_best = record["headline"]["compiled_best_speedup"]
+    if compiled_best is not None:
+        jit = "jit" if record["headline"]["numba_available"] else "fallback"
+        print(
+            f"headline (compiled {COMPILED_TARGET_SIZE}): "
+            f"{compiled_best:.2f}x over reference ({jit})"
+        )
+    if args.check and args.compiled_sizes:
+        if not record["headline"]["numba_available"]:
+            print(
+                "SKIP (compiled): numba is not importable here, so the "
+                f"{COMPILED_TARGET_SPEEDUP:.0f}x bar does not apply "
+                "(fallback parity only)"
+            )
+        elif compiled_best is None:
+            print(f"--check requires a compiled {COMPILED_TARGET_SIZE} cell")
+            misconfigured = True
+        elif compiled_best < COMPILED_TARGET_SPEEDUP:
+            print(
+                f"FAIL (compiled): {compiled_best:.2f}x < "
+                f"{COMPILED_TARGET_SPEEDUP:.0f}x"
+            )
+            failures += 1
+        else:
+            print(
+                f"OK (compiled): {compiled_best:.2f}x >= "
+                f"{COMPILED_TARGET_SPEEDUP:.0f}x"
+            )
+    process_best = record["headline"]["process_best_speedup"]
+    cpu_count = record["headline"]["cpu_count"]
+    if process_best is not None:
+        print(
+            f"headline (process): {process_best:.2f}x wall-clock vs fast "
+            f"on {cpu_count} CPU(s)"
+        )
+    if args.check and args.process_sizes:
+        if cpu_count is None or cpu_count < 2:
+            print(
+                "SKIP (process): single-CPU box, sharded:N:process cannot "
+                "show a wall-clock speedup here"
+            )
+        elif process_best is None:
+            print("--check requires a process cell")
+            misconfigured = True
+        elif process_best <= 1.0:
+            print(f"FAIL (process): {process_best:.2f}x <= 1.00x")
+            failures += 1
+        else:
+            print(f"OK (process): {process_best:.2f}x > 1.00x")
     if record["headline"]["peak_rss_kb"] is not None:
         print(f"peak RSS: {record['headline']['peak_rss_kb']} KiB")
     if misconfigured:
@@ -618,23 +873,36 @@ def test_backend_speedup_record(tmp_path):
         sized_sizes=("10x4",), sized_policies=("jsq",),
         probe_sizes=("10x4",), sharded_sizes=("10x4",),
         checkpoint_sizes=("10x4",),
+        compiled_sizes=("10x4",), process_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    unsized, sized, sharded, probes, checkpoint = loaded["cells"]
+    unsized, sized, compiled, sharded, process, probes, checkpoint = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
         assert cell["reference_rounds_per_sec"] > 0
         assert cell["fast_rounds_per_sec"] > 0
         # jsq is deterministic: both backends simulate the identical run.
         assert cell["reference_mean_response"] == cell["fast_mean_response"]
+    assert compiled["engine"] == "compiled"
+    assert isinstance(compiled["numba_active"], bool)
+    assert compiled["compiled_rounds_per_sec"] > 0
+    # rr is deterministic: all three backends simulate the identical run.
+    assert compiled["reference_mean_response"] == compiled["compiled_mean_response"]
+    assert compiled["fast_mean_response"] == compiled["compiled_mean_response"]
     assert sharded["engine"] == "sharded"
     assert sharded["shards"] == 2 and sharded["strategy"] == "serial"
     assert sharded["sharded_rounds_per_sec"] > 0
     # Sharding is bit-exact vs fast for the deterministic jsq cell.
     assert sharded["fast_mean_response"] == sharded["sharded_mean_response"]
+    assert process["engine"] == "process"
+    assert process["strategy"] == "process"
+    assert process["cpu_count"] == os.cpu_count()
+    assert process["process_rounds_per_sec"] > 0
+    # The process strategy replays the identical deterministic run.
+    assert process["fast_mean_response"] == process["process_mean_response"]
     assert probes["engine"] == "probe_overhead"
     assert probes["probes"] == list(ALL_EXTRA_PROBES)
     assert probes["default_rounds_per_sec"] > 0
@@ -648,6 +916,13 @@ def test_backend_speedup_record(tmp_path):
     assert loaded["headline"]["probe_overhead_fraction"] is not None
     assert loaded["headline"]["shard_overhead_fraction"] is not None
     assert loaded["headline"]["checkpoint_overhead_fraction"] is not None
+    assert isinstance(loaded["headline"]["numba_available"], bool)
+    assert loaded["headline"]["process_best_speedup"] > 0
+    assert loaded["headline"]["cpu_count"] == os.cpu_count()
+    # The tiny smoke grid has no COMPILED_TARGET_SIZE point, so the
+    # headline bar stays unset; the 200x100 default grid populates it.
+    assert loaded["headline"]["compiled_best_speedup"] is None
+    assert loaded["headline"]["compiled_target_speedup"] == COMPILED_TARGET_SPEEDUP
     peaks = [cell["peak_rss_kb"] for cell in loaded["cells"]]
     if loaded["headline"]["peak_rss_kb"] is not None:  # no ru_maxrss on Windows
         assert all(peak > 0 for peak in peaks)

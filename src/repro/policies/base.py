@@ -44,6 +44,7 @@ __all__ = [
     "make_policy",
     "available_policies",
     "has_native_dispatch_round",
+    "supports_round_batching",
 ]
 
 
@@ -170,6 +171,35 @@ class Policy(ABC):
             rows[d] = self.dispatch(d, k)
         return rows
 
+    def dispatch_rounds(self, batch_block: np.ndarray) -> np.ndarray | None:
+        """Assign a whole *block* of rounds in one call (cross-round batching).
+
+        Parameters
+        ----------
+        batch_block:
+            ``(L, m)`` int array: row ``i`` is round ``i``'s per-dispatcher
+            batch sizes (zeros allowed).
+
+        Returns
+        -------
+        numpy.ndarray or None
+            An ``(L, n)`` int64 matrix of per-round, per-server admission
+            counts (dispatcher rows already summed), with all rotation /
+            credit state advanced exactly as ``L`` consecutive
+            ``dispatch_round`` calls would have left it -- or ``None`` to
+            decline, sending the engine back to the per-round protocol.
+
+        Only *queue-oblivious* policies may override this: the engine
+        skips ``begin_round`` / ``end_round`` / ``observe_total_arrivals``
+        and never exposes intermediate queue states on this path, so an
+        override is valid only when those hooks are no-ops and dispatch
+        decisions never read the queue snapshot (``rr``, ``wrr``,
+        uniform random...).  Overrides must be bit-identical to the
+        per-round path; :func:`supports_round_batching` is the guard the
+        engines check before using it.
+        """
+        return None
+
     def end_round(self, round_index: int, queues: np.ndarray) -> None:
         """Observe post-departure queues (for local-state policies)."""
 
@@ -241,3 +271,20 @@ def has_native_dispatch_round(policy: Policy) -> bool:
     tests and benchmarks need to know.
     """
     return type(policy).dispatch_round is not Policy.dispatch_round
+
+
+def supports_round_batching(policy: Policy) -> bool:
+    """True when the engines may drive ``policy`` via ``dispatch_rounds``.
+
+    Requires the cross-round override itself plus base-class (no-op)
+    round hooks: a policy that observes ``begin_round`` / ``end_round``
+    queue snapshots or round totals cannot legally skip them, whatever
+    its ``dispatch_rounds`` claims.
+    """
+    cls = type(policy)
+    return (
+        cls.dispatch_rounds is not Policy.dispatch_rounds
+        and cls.begin_round is Policy.begin_round
+        and cls.end_round is Policy.end_round
+        and cls.observe_total_arrivals is Policy.observe_total_arrivals
+    )

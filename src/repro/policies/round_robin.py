@@ -70,6 +70,43 @@ class RoundRobinPolicy(Policy):
         self._position[:] = (start + batch) % n
         return rows
 
+    def dispatch_rounds(self, batch_block: np.ndarray) -> np.ndarray:
+        """A whole block's rotations advanced at once (bit-identical).
+
+        Round-robin is queue-oblivious, so every round's starting
+        positions follow from the cumulative batch counts alone:
+        dispatcher ``d`` opens round ``i`` at
+        ``(p_d + sum_{j<i} batch[j, d]) mod n``.  Each non-empty
+        ``(round, dispatcher)`` cell contributes its remainder arc as a
+        difference-array scatter (one ``np.add.at`` per boundary kind)
+        and the full-cycle part as a per-round constant; a row-wise
+        prefix sum then yields every round's per-server admissions in
+        one pass -- the same integer arithmetic as ``dispatch_round``,
+        so counts and carried positions match it exactly.
+        """
+        n = self.ctx.num_servers
+        batch_block = np.asarray(batch_block, dtype=np.int64)
+        length = batch_block.shape[0]
+        starts = self._position[None, :] + np.cumsum(batch_block, axis=0) - batch_block
+        starts %= n
+        remainder = batch_block % n
+        row_i, col_d = np.nonzero(remainder)
+        arc_start = starts[row_i, col_d]
+        arc_end = arc_start + remainder[row_i, col_d]
+        diff = np.zeros((length, n + 1), dtype=np.int64)
+        plain = arc_end <= n
+        np.add.at(diff, (row_i[plain], arc_start[plain]), 1)
+        np.add.at(diff, (row_i[plain], arc_end[plain]), -1)
+        wrapped = ~plain
+        np.add.at(diff, (row_i[wrapped], arc_start[wrapped]), 1)
+        np.add.at(diff, (row_i[wrapped], np.full(int(wrapped.sum()), n)), -1)
+        np.add.at(diff, (row_i[wrapped], np.zeros(int(wrapped.sum()), dtype=np.int64)), 1)
+        np.add.at(diff, (row_i[wrapped], arc_end[wrapped] - n), -1)
+        received = np.cumsum(diff[:, :n], axis=1)
+        received += (batch_block // n).sum(axis=1)[:, None]
+        self._position[:] = (self._position + batch_block.sum(axis=0)) % n
+        return received
+
 
 @register_policy("wrr")
 class WeightedRoundRobinPolicy(Policy):

@@ -43,10 +43,15 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import BatchQueueStore
+from .blockdriver import (
+    BLOCK_ROUNDS,
+    UnsizedBlock,
+    UnsizedRunState,
+    drive_unsized,
+)
 from .lifecycle import RunController, validate_start_round
 from .probes import (
     BlockRecorder,
-    ProbeBlock,
     ProbeContext,
     ProbeSet,
     ResponseTee,
@@ -260,9 +265,10 @@ class ReferenceBackend(EngineBackend):
         )
 
 
-#: Rounds pre-sampled per block by the fast backend (bounds the memory of
-#: the ``(chunk, m)`` / ``(chunk, n)`` workload blocks).
-_CHUNK_ROUNDS = 256
+#: Rounds pre-sampled per block by the block-structured backends.  The
+#: loop itself lives in :mod:`repro.sim.blockdriver`; this alias is the
+#: name the rest of the codebase (orchestrator, tests) imports.
+_CHUNK_ROUNDS = BLOCK_ROUNDS
 
 
 @register_backend("fast")
@@ -288,21 +294,19 @@ class FastBackend(EngineBackend):
         "block-resolved departures (bit-exact for deterministic policies)"
     )
 
+    def _make_store(self, num_servers: int) -> BatchQueueStore:
+        """Subclass seam: which departure resolver backs a fresh run."""
+        return BatchQueueStore(num_servers)
+
+    def _round_kernel(self, sim: "Simulation"):
+        """Subclass seam: an optional whole-block native round loop."""
+        return None
+
     def run(
         self, sim: "Simulation", controller: RunController | None = None
     ) -> "SimulationResult":
-        from repro.policies.base import has_native_dispatch_round
-
         config = sim.config
-        policy = sim.policy
-        arrivals = sim.arrivals
-        service = sim.service
-        arrival_rng = sim._streams.arrivals
-        departure_rng = sim._streams.departures
-
         n = sim.rates.size
-        m = arrivals.num_dispatchers
-        native = has_native_dispatch_round(policy)
         start_round = 0
         state = None
         if controller is not None:
@@ -312,128 +316,75 @@ class FastBackend(EngineBackend):
             state = controller.initial_state()
         if state is not None:
             store = state["store"]
-            queues = state["queues"]
             probes = state["probes"]
-            total_arrived = state["total_arrived"]
-            server_received = state["server_received"]
-            server_departed = state["server_departed"]
+            run_state = UnsizedRunState(
+                queues=state["queues"],
+                total_arrived=state["total_arrived"],
+                server_received=state["server_received"],
+                server_departed=state["server_departed"],
+            )
         else:
-            store = BatchQueueStore(n)
-            queues = np.zeros(n, dtype=np.int64)
+            store = self._make_store(n)
             probes = _probe_set_for(sim)
-            total_arrived = 0
-            server_received = np.zeros(n, dtype=np.int64)
-            server_departed = np.zeros(n, dtype=np.int64)
+            run_state = UnsizedRunState(
+                queues=np.zeros(n, dtype=np.int64),
+                total_arrived=0,
+                server_received=np.zeros(n, dtype=np.int64),
+                server_departed=np.zeros(n, dtype=np.int64),
+            )
         histogram = probes.histogram
-        series = probes.queue_series
-        need_queues = "queues" in probes.fields
         response_sink = (
             probes.observe_responses if probes.wants_responses else None
         )
 
-        for chunk_start in range(start_round, config.rounds, _CHUNK_ROUNDS):
-            chunk = min(_CHUNK_ROUNDS, config.rounds - chunk_start)
-            arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
-            capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
-            received_block = np.zeros((chunk, n), dtype=np.int64)
-            done_block = np.zeros((chunk, n), dtype=np.int64)
-            queue_block = (
-                np.zeros((chunk, n), dtype=np.int64) if need_queues else None
-            )
-
-            for i in range(chunk):
-                t = chunk_start + i
-
-                # Phase 1: arrivals (pre-sampled).
-                batch = arrival_block[i]
-                round_total = int(batch.sum())
-                total_arrived += round_total
-
-                # Phase 2: one batched dispatch for the whole round.
-                policy.begin_round(t, queues)
-                if round_total:
-                    policy.observe_total_arrivals(round_total)
-                    if native:
-                        rows = policy.dispatch_round(batch, queues)
-                        if rows.shape != (m, n):
-                            raise ValueError(
-                                f"{policy.name}.dispatch_round returned shape "
-                                f"{rows.shape}, expected ({m}, {n})"
-                            )
-                        received = rows.sum(axis=0)
-                    else:
-                        received = np.zeros(n, dtype=np.int64)
-                        for d in range(m):
-                            k = int(batch[d])
-                            if k == 0:
-                                continue
-                            received += policy.dispatch(d, k)
-                    if int(received.sum()) != round_total:
-                        raise ValueError(
-                            f"{policy.name} assigned {int(received.sum())} "
-                            f"jobs for a round of {round_total}"
-                        )
-                    received_block[i] = received
-                    queues += received
-                    server_received += received
-
-                # Phase 3: departures -- totals now, FIFO resolution at
-                # block end.
-                done = np.minimum(queues, capacity_block[i])
-                done_block[i] = done
-                queues -= done
-
-                policy.end_round(t, queues)
-                if series is not None:
-                    series.record(int(queues.sum()))
-                if queue_block is not None:
-                    queue_block[i] = queues
-
-            server_departed += done_block.sum(axis=0)
+        def consume(block: UnsizedBlock) -> None:
             store.process_block(
-                chunk_start,
-                received_block,
-                done_block,
+                block.start_round,
+                block.received,
+                block.done,
                 histogram,
                 config.warmup,
                 response_sink=response_sink,
             )
-            if probes.wants_blocks:
-                fields = probes.fields
-                probes.observe_block(
-                    ProbeBlock(
-                        start_round=chunk_start,
-                        length=chunk,
-                        batch=arrival_block if "batch" in fields else None,
-                        received=received_block if "received" in fields else None,
-                        done=done_block if "done" in fields else None,
-                        queues=queue_block,
-                    )
-                )
-            if controller is not None:
-                controller.after_block(
-                    chunk_start + chunk,
-                    lambda: {
-                        "store": store,
-                        "queues": queues,
-                        "probes": probes,
-                        "total_arrived": total_arrived,
-                        "server_received": server_received,
-                        "server_departed": server_departed,
-                    },
-                )
-        total_departed = int(server_departed.sum())
+
+        def export_state() -> dict:
+            return {
+                "store": store,
+                "queues": run_state.queues,
+                "probes": probes,
+                "total_arrived": run_state.total_arrived,
+                "server_received": run_state.server_received,
+                "server_departed": run_state.server_departed,
+            }
+
+        drive_unsized(
+            policy=sim.policy,
+            arrivals=sim.arrivals,
+            service=sim.service,
+            arrival_rng=sim._streams.arrivals,
+            departure_rng=sim._streams.departures,
+            rounds=config.rounds,
+            warmup=config.warmup,
+            start_round=start_round,
+            state=run_state,
+            block_probes=probes,
+            series=probes.queue_series,
+            consume=consume,
+            controller=controller,
+            export_state=export_state,
+            round_kernel=self._round_kernel(sim),
+        )
 
         return _make_result(
             sim,
             histogram=histogram,
             queue_series=probes.queue_series,
-            total_arrived=total_arrived,
-            total_departed=total_departed,
-            final_queued=int(queues.sum()),
-            final_queues=queues,
-            server_received=server_received,
-            server_departed=server_departed,
+            total_arrived=run_state.total_arrived,
+            total_departed=int(run_state.server_departed.sum()),
+            final_queued=int(run_state.queues.sum()),
+            final_queues=run_state.queues,
+            server_received=run_state.server_received,
+            server_departed=run_state.server_departed,
             probes=probes.as_dict(),
         )
 
@@ -442,3 +393,4 @@ class FastBackend(EngineBackend):
 # one) on import; keep this at the bottom so the registry machinery
 # above exists when it does.
 from . import sharding  # noqa: E402,F401  (registration side effect)
+from . import compiled  # noqa: E402,F401  (registration side effect)

@@ -1,0 +1,501 @@
+"""The shared 256-round block driver behind every engine kernel.
+
+All block-structured kernels -- ``fast``, ``sharded`` and ``compiled``,
+in both the unsized and the sized engine -- execute the *same* round
+loop: pre-sample a block of workload randomness, run each round's
+dispatch against the live queue totals, defer FIFO departure resolution
+to block end, feed the block to the probe set, and hand the lifecycle
+controller an exportable state at the block boundary.  What differs
+between kernels is only **where a finished block goes** (a local batch
+store, per-shard workers over pipes) and **which store implementation
+resolves it** -- so this module owns the loop once and parameterizes
+the destination:
+
+``consume``
+    A callable receiving the finished :class:`UnsizedBlock` /
+    :class:`SizedBlock`.  The fast kernels resolve it against a local
+    :class:`~repro.sim.batchstore.BatchQueueStore`; the sharded kernels
+    slice it across shard workers.
+
+``export_state``
+    A zero-argument callable building the kernel's checkpoint dict;
+    the driver invokes the :class:`~repro.sim.lifecycle.RunController`
+    seam with it at every block boundary, exactly as the kernels used
+    to inline.
+
+The driver also owns the two cross-round accelerations the kernels
+share:
+
+* **Cross-round dispatch batching.**  When the policy passes
+  :func:`repro.policies.base.supports_round_batching` (queue-oblivious,
+  no round hooks), the whole block's admissions come from one
+  :meth:`~repro.policies.base.Policy.dispatch_rounds` call and the loop
+  degenerates to the pure queue/departure recurrence -- bit-identical
+  by that method's contract, with none of the per-round Python
+  overhead.
+* **A compiled round-kernel seam.**  The unsized driver accepts an
+  optional ``round_kernel`` object (see :mod:`repro.sim.compiled`)
+  that runs the *entire* block -- dispatch state, queue recurrence and
+  completion matrix -- in one native call; the driver reconstructs the
+  queue trajectory and series totals from the admission/completion
+  matrices afterwards (integer prefix sums, so the values are the ones
+  the per-round loop would have recorded).
+
+Bit-identity is the invariant throughout: for a given policy and seed,
+every path through this driver produces the same admission matrix,
+completion matrix, queue trajectory and checkpoint state as the
+original per-round loop it replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.policies.base import (
+    Policy,
+    has_native_dispatch_round,
+    supports_round_batching,
+)
+
+from .lifecycle import RunController
+from .probes import ProbeBlock, ProbeSet
+
+__all__ = [
+    "BLOCK_ROUNDS",
+    "UnsizedBlock",
+    "SizedBlock",
+    "UnsizedRunState",
+    "SizedRunState",
+    "RoundKernel",
+    "drive_unsized",
+    "drive_sized",
+]
+
+#: Rounds pre-sampled per block (bounds the memory of the ``(chunk, m)``
+#: / ``(chunk, n)`` workload blocks and sets the checkpoint granularity).
+BLOCK_ROUNDS = 256
+
+_EMPTY_JOBS = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class UnsizedBlock:
+    """One finished block of the unsized round loop, ready to resolve."""
+
+    start_round: int
+    length: int
+    batch: np.ndarray  # (length, m) per-dispatcher arrivals
+    received: np.ndarray  # (length, n) per-server admissions
+    done: np.ndarray  # (length, n) per-server completions
+    queues: np.ndarray | None  # (length, n) post-round queues, if requested
+
+
+@dataclass
+class SizedBlock:
+    """One finished block of the sized round loop, jobs sorted server-major."""
+
+    start_round: int
+    length: int
+    batch: np.ndarray  # (length, m) per-dispatcher arrivals
+    received: np.ndarray | None  # (length, n) admitted units, if requested
+    done: np.ndarray  # (length, n) drained units
+    queues: np.ndarray | None  # (length, n) post-round unit queues
+    job_servers: np.ndarray  # per-job server, sorted (stable) server-major
+    job_rounds: np.ndarray  # per-job admission round, same order
+    job_sizes: np.ndarray  # per-job unit size, same order
+
+
+class UnsizedRunState:
+    """The unsized kernels' mutable run accumulators (checkpointed keys).
+
+    ``queues`` is the live array the checkpoint dicts reference -- the
+    driver mutates it in place and never rebinds it.
+    """
+
+    __slots__ = ("queues", "total_arrived", "server_received", "server_departed")
+
+    def __init__(
+        self,
+        queues: np.ndarray,
+        total_arrived: int,
+        server_received: np.ndarray,
+        server_departed: np.ndarray,
+    ) -> None:
+        self.queues = queues
+        self.total_arrived = total_arrived
+        self.server_received = server_received
+        self.server_departed = server_departed
+
+
+class SizedRunState:
+    """The sized kernels' mutable run accumulators (checkpointed keys)."""
+
+    __slots__ = ("unit_queues", "total_jobs", "units_in", "units_out")
+
+    def __init__(
+        self,
+        unit_queues: np.ndarray,
+        total_jobs: int,
+        units_in: int,
+        units_out: int,
+    ) -> None:
+        self.unit_queues = unit_queues
+        self.total_jobs = total_jobs
+        self.units_in = units_in
+        self.units_out = units_out
+
+
+class RoundKernel(Protocol):
+    """A native whole-block round loop (the compiled kernel's seam).
+
+    ``run_block`` owns dispatch state, the queue recurrence and the
+    completion matrix for one block: it fills ``received`` and ``done``
+    and advances ``queues`` in place, leaving the policy's carried state
+    exactly as the per-round loop would.  The driver reconstructs the
+    queue trajectory and accumulators from the matrices afterwards.
+    """
+
+    def run_block(
+        self,
+        batch: np.ndarray,  # (length, m) arrivals, read-only
+        capacity: np.ndarray,  # (length, n) capacities, read-only
+        queues: np.ndarray,  # (n,) live queue totals, advanced in place
+        received: np.ndarray,  # (length, n) zeros on entry, filled
+        done: np.ndarray,  # (length, n) zeros on entry, filled
+    ) -> None: ...
+
+
+def _check_received_block(
+    policy: Policy, received: np.ndarray, batch: np.ndarray, n: int
+) -> None:
+    """Vectorized analogue of the per-round shape / conservation checks."""
+    if received.shape != (batch.shape[0], n):
+        raise ValueError(
+            f"{policy.name}.dispatch_rounds returned shape {received.shape}, "
+            f"expected ({batch.shape[0]}, {n})"
+        )
+    round_totals = batch.sum(axis=1)
+    got = received.sum(axis=1)
+    if not np.array_equal(got, round_totals):
+        bad = int(np.flatnonzero(got != round_totals)[0])
+        raise ValueError(
+            f"{policy.name} assigned {int(got[bad])} jobs for a round "
+            f"of {int(round_totals[bad])}"
+        )
+
+
+def drive_unsized(
+    *,
+    policy: Policy,
+    arrivals,
+    service,
+    arrival_rng: np.random.Generator,
+    departure_rng: np.random.Generator,
+    rounds: int,
+    warmup: int,  # noqa: ARG001 - kept for signature symmetry with consumers
+    start_round: int,
+    state: UnsizedRunState,
+    block_probes: ProbeSet,
+    series,
+    consume: Callable[[UnsizedBlock], None],
+    controller: RunController | None = None,
+    export_state: Callable[[], dict] | None = None,
+    round_kernel: RoundKernel | None = None,
+) -> None:
+    """Run the unsized round loop from ``start_round`` to ``rounds``.
+
+    ``block_probes`` is the probe set fed whole blocks (the fast
+    kernel's full set; the sharded coordinator's non-partitionable
+    subset); ``series`` is the queue-length series recorded per round,
+    or ``None`` when the consumer's side owns it (shard workers record
+    their own slices).
+    """
+    queues = state.queues
+    n = queues.size
+    m = arrivals.num_dispatchers
+    native = has_native_dispatch_round(policy)
+    batching = supports_round_batching(policy)
+    fields = block_probes.fields
+    need_queues = "queues" in fields
+    wants_blocks = block_probes.wants_blocks
+    track = need_queues or series is not None
+
+    for chunk_start in range(start_round, rounds, BLOCK_ROUNDS):
+        chunk = min(BLOCK_ROUNDS, rounds - chunk_start)
+        arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
+        capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
+        received_block = np.zeros((chunk, n), dtype=np.int64)
+        done_block = np.zeros((chunk, n), dtype=np.int64)
+        queue_block = np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+
+        if round_kernel is not None:
+            start_total = int(queues.sum()) if track else 0
+            start_queues = queues.copy() if need_queues else None
+            round_kernel.run_block(
+                arrival_block, capacity_block, queues, received_block, done_block
+            )
+            state.total_arrived += int(arrival_block.sum())
+            state.server_received += received_block.sum(axis=0)
+            if queue_block is not None:
+                np.cumsum(received_block - done_block, axis=0, out=queue_block)
+                queue_block += start_queues
+            if series is not None:
+                totals = (received_block - done_block).sum(axis=1)
+                np.cumsum(totals, out=totals)
+                totals += start_total
+                series.record_many(totals)
+        else:
+            batched = None
+            if batching:
+                batched = policy.dispatch_rounds(arrival_block)
+            if batched is not None:
+                _check_received_block(policy, batched, arrival_block, n)
+                received_block[:] = batched
+                # The policy is out of the loop; only the queue /
+                # departure recurrence remains, round by round.
+                for i in range(chunk):
+                    queues += received_block[i]
+                    done = np.minimum(queues, capacity_block[i])
+                    done_block[i] = done
+                    queues -= done
+                    if series is not None:
+                        series.record(int(queues.sum()))
+                    if queue_block is not None:
+                        queue_block[i] = queues
+                state.total_arrived += int(arrival_block.sum())
+                state.server_received += received_block.sum(axis=0)
+            else:
+                for i in range(chunk):
+                    t = chunk_start + i
+
+                    # Phase 1: arrivals (pre-sampled).
+                    batch = arrival_block[i]
+                    round_total = int(batch.sum())
+                    state.total_arrived += round_total
+
+                    # Phase 2: one batched dispatch for the whole round.
+                    policy.begin_round(t, queues)
+                    if round_total:
+                        policy.observe_total_arrivals(round_total)
+                        if native:
+                            rows = policy.dispatch_round(batch, queues)
+                            if rows.shape != (m, n):
+                                raise ValueError(
+                                    f"{policy.name}.dispatch_round returned shape "
+                                    f"{rows.shape}, expected ({m}, {n})"
+                                )
+                            received = rows.sum(axis=0)
+                        else:
+                            received = np.zeros(n, dtype=np.int64)
+                            for d in range(m):
+                                k = int(batch[d])
+                                if k == 0:
+                                    continue
+                                received += policy.dispatch(d, k)
+                        if int(received.sum()) != round_total:
+                            raise ValueError(
+                                f"{policy.name} assigned {int(received.sum())} "
+                                f"jobs for a round of {round_total}"
+                            )
+                        received_block[i] = received
+                        queues += received
+                        state.server_received += received
+
+                    # Phase 3: departures -- totals now, FIFO resolution
+                    # at block end.
+                    done = np.minimum(queues, capacity_block[i])
+                    done_block[i] = done
+                    queues -= done
+
+                    policy.end_round(t, queues)
+                    if series is not None:
+                        series.record(int(queues.sum()))
+                    if queue_block is not None:
+                        queue_block[i] = queues
+
+        state.server_departed += done_block.sum(axis=0)
+        consume(
+            UnsizedBlock(
+                start_round=chunk_start,
+                length=chunk,
+                batch=arrival_block,
+                received=received_block,
+                done=done_block,
+                queues=queue_block,
+            )
+        )
+        if wants_blocks:
+            block_probes.observe_block(
+                ProbeBlock(
+                    start_round=chunk_start,
+                    length=chunk,
+                    batch=arrival_block if "batch" in fields else None,
+                    received=received_block if "received" in fields else None,
+                    done=done_block if "done" in fields else None,
+                    queues=queue_block,
+                )
+            )
+        if controller is not None:
+            assert export_state is not None
+            controller.after_block(chunk_start + chunk, export_state)
+
+
+def drive_sized(
+    *,
+    policy: Policy,
+    arrivals,
+    service,
+    sizes,
+    arrival_rng: np.random.Generator,
+    departure_rng: np.random.Generator,
+    rounds: int,
+    start_round: int,
+    state: SizedRunState,
+    block_probes: ProbeSet,
+    series,
+    collect_received: bool,
+    consume: Callable[[SizedBlock], None],
+    controller: RunController | None = None,
+    export_state: Callable[[], dict] | None = None,
+) -> None:
+    """Run the sized round loop from ``start_round`` to ``rounds``.
+
+    Sizes are workload randomness interleaved with batches on the
+    arrival stream, so the pre-sampling loop repeats the reference's
+    per-round call sequence exactly.  ``collect_received`` forces the
+    admitted-units matrix even when no probe reads it (the sharded
+    consumer feeds shard slices from it).
+
+    No cross-round batching here: the sized loop needs every round's
+    per-``(dispatcher, server)`` cell counts to lay job sizes out, and
+    ``dispatch_rounds`` only returns dispatcher-summed rows.
+    """
+    unit_queues = state.unit_queues
+    n = unit_queues.size
+    m = arrivals.num_dispatchers
+    fields = block_probes.fields
+    need_queues = "queues" in fields
+    need_received = collect_received or "received" in fields
+    wants_blocks = block_probes.wants_blocks
+    # Flat (dispatcher-major) cell index -> server, matching both the
+    # C-order ravel of a dispatch_round matrix and the order in which
+    # the reference assigns a dispatcher's sizes to servers.
+    cell_server = np.tile(np.arange(n), m)
+
+    for chunk_start in range(start_round, rounds, BLOCK_ROUNDS):
+        chunk = min(BLOCK_ROUNDS, rounds - chunk_start)
+
+        # Phase 1 (pre-sampled): arrivals and sizes, interleaved per
+        # round exactly as the reference consumes them.
+        batch_block = np.empty((chunk, m), dtype=np.int64)
+        size_rows: list[np.ndarray] = []
+        for i in range(chunk):
+            batch = arrivals.sample(arrival_rng, chunk_start + i)
+            batch_block[i] = batch
+            k = int(batch.sum())
+            size_rows.append(sizes.sample(arrival_rng, k) if k else _EMPTY_JOBS)
+        capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
+        done_block = np.zeros((chunk, n), dtype=np.int64)
+        received_block = (
+            np.zeros((chunk, n), dtype=np.int64) if need_received else None
+        )
+        queue_block = np.zeros((chunk, n), dtype=np.int64) if need_queues else None
+        job_servers: list[np.ndarray] = []
+        job_rounds: list[np.ndarray] = []
+        job_sizes: list[np.ndarray] = []
+
+        for i in range(chunk):
+            t = chunk_start + i
+            batch = batch_block[i]
+            round_total = int(batch.sum())
+            state.total_jobs += round_total
+
+            # Phase 2: one batched dispatch for the whole round.
+            policy.begin_round(t, unit_queues)
+            if round_total:
+                policy.observe_total_arrivals(round_total)
+                rows = policy.dispatch_round(batch, unit_queues)
+                if rows.shape != (m, n):
+                    raise ValueError(
+                        f"{policy.name}.dispatch_round returned shape "
+                        f"{rows.shape}, expected ({m}, {n})"
+                    )
+                flat = rows.ravel()
+                if int(flat.sum()) != round_total:
+                    raise ValueError(
+                        f"{policy.name} assigned {int(flat.sum())} "
+                        f"jobs for a round of {round_total}"
+                    )
+                # The round's sizes are consumed dispatcher-major, within
+                # a dispatcher in server-index order -- the C-order of
+                # `rows`.  A prefix-sum over the flat size vector yields
+                # every cell's unit total.
+                round_sizes = size_rows[i]
+                bounds = np.concatenate(([0], np.cumsum(round_sizes)))
+                cell_ends = np.cumsum(flat)
+                cell_units = bounds[cell_ends] - bounds[cell_ends - flat]
+                received_units = cell_units.reshape(m, n).sum(axis=0)
+                unit_queues += received_units
+                state.units_in += int(received_units.sum())
+                if received_block is not None:
+                    received_block[i] = received_units
+                job_servers.append(np.repeat(cell_server, flat))
+                job_rounds.append(np.full(round_total, t, dtype=np.int64))
+                job_sizes.append(round_sizes)
+
+            # Phase 3: departures -- unit totals now, per-job FIFO
+            # resolution at block end (by the consumer).
+            done = np.minimum(unit_queues, capacity_block[i])
+            done_block[i] = done
+            unit_queues -= done
+            state.units_out += int(done.sum())
+
+            policy.end_round(t, unit_queues)
+            if series is not None:
+                series.record(int(unit_queues.sum()))
+            if queue_block is not None:
+                queue_block[i] = unit_queues
+
+        # Jobs are concatenated in (round, dispatcher) admission order; a
+        # stable sort by server turns that into the server-major FIFO
+        # order every consumer requires.
+        if job_servers:
+            srv = np.concatenate(job_servers)
+            order = np.argsort(srv, kind="stable")
+            srv = srv[order]
+            rounds_sorted = np.concatenate(job_rounds)[order]
+            sizes_sorted = np.concatenate(job_sizes)[order]
+        else:
+            srv = rounds_sorted = sizes_sorted = _EMPTY_JOBS
+        consume(
+            SizedBlock(
+                start_round=chunk_start,
+                length=chunk,
+                batch=batch_block,
+                received=received_block,
+                done=done_block,
+                queues=queue_block,
+                job_servers=srv,
+                job_rounds=rounds_sorted,
+                job_sizes=sizes_sorted,
+            )
+        )
+        if wants_blocks:
+            block_probes.observe_block(
+                ProbeBlock(
+                    start_round=chunk_start,
+                    length=chunk,
+                    batch=batch_block if "batch" in fields else None,
+                    received=(
+                        received_block if "received" in fields else None
+                    ),
+                    done=done_block if "done" in fields else None,
+                    queues=queue_block,
+                )
+            )
+        if controller is not None:
+            assert export_state is not None
+            controller.after_block(chunk_start + chunk, export_state)

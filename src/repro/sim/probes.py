@@ -68,6 +68,7 @@ __all__ = [
     "ResponseTimeProbe",
     "QueueSeriesProbe",
     "ServerStatsProbe",
+    "ServerResponseStatsProbe",
     "DispatcherStatsProbe",
     "WindowedMeanProbe",
     "HerdingSignalProbe",
@@ -907,6 +908,136 @@ class ServerStatsProbe(Probe):
         self._max_queue = np.asarray(state["max_queue"], dtype=np.int64)
         self._idle = np.asarray(state["idle"], dtype=np.int64)
         self._queue_hist = np.asarray(state["queue_hist"], dtype=np.int64)
+
+
+@register_probe("server_response_stats")
+class ServerResponseStatsProbe(Probe):
+    """Per-server response-time breakdown: count, mean and max.
+
+    The latency companion to ``server_stats``: queue lengths say where
+    backlog *sits*; this probe says what jobs served by each server
+    actually *paid* for it, exposing per-server latency asymmetry (slow
+    servers with short queues versus fast servers with long ones) that
+    the pooled histogram averages away.  Rides the server-attributed
+    response feed, so it works identically on every kernel and
+    partitions into shards (each shard sees exactly its own servers'
+    departures).
+    """
+
+    description = (
+        "per-server response-time count/mean/max (latency heterogeneity "
+        "diagnostics)"
+    )
+    #: Response events only -- no block arrays needed.
+    fields = frozenset()
+    wants_responses = True
+    #: All state is server-indexed and each server's departures happen
+    #: in exactly one shard, so ``merge_partition`` concatenates the
+    #: shards' arrays back into the global per-server vectors.
+    partitionable = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count: np.ndarray | None = None
+        self._time_sum: np.ndarray | None = None
+        self._time_max: np.ndarray | None = None
+
+    def bind(self, ctx: ProbeContext) -> None:
+        super().bind(ctx)
+        n = ctx.num_servers
+        self._count = np.zeros(n, dtype=np.int64)
+        self._time_sum = np.zeros(n, dtype=np.int64)
+        self._time_max = np.zeros(n, dtype=np.int64)
+
+    def observe_responses(
+        self,
+        rounds: np.ndarray,
+        times: np.ndarray,
+        counts: np.ndarray,
+        servers: np.ndarray,
+    ) -> None:
+        if times.size == 0:
+            return
+        np.add.at(self._count, servers, counts)
+        np.add.at(self._time_sum, servers, times * counts)
+        np.maximum.at(self._time_max, servers, times)
+
+    # -- derived quantities ------------------------------------------------
+
+    def response_counts(self) -> np.ndarray:
+        """Per-server number of recorded (post-warmup) responses."""
+        return self._count.copy()
+
+    def mean_response_times(self) -> np.ndarray:
+        """Per-server mean response time (NaN where nothing departed)."""
+        with np.errstate(invalid="ignore"):
+            return np.where(
+                self._count > 0, self._time_sum / self._count, np.nan
+            )
+
+    def max_response_times(self) -> np.ndarray:
+        """Per-server maximum recorded response time."""
+        return self._time_max.copy()
+
+    def summary(self) -> dict[str, float]:
+        if self._count is None or self._count.sum() == 0:
+            return {
+                "responses": 0.0,
+                "mean_response": float("nan"),
+                "max_response": 0.0,
+                "server_mean_min": float("nan"),
+                "server_mean_max": float("nan"),
+            }
+        means = self.mean_response_times()
+        served = means[self._count > 0]
+        return {
+            "responses": float(self._count.sum()),
+            "mean_response": float(self._time_sum.sum() / self._count.sum()),
+            "max_response": float(self._time_max.max()),
+            "server_mean_min": float(served.min()),
+            "server_mean_max": float(served.max()),
+        }
+
+    def merge(self, other: "Probe") -> None:
+        """Pool replications / time shards of the same server set."""
+        self._check_merge(other)
+        if self._count is None or other._count is None:
+            raise ValueError("cannot merge unbound server_response_stats probes")
+        if self._count.size != other._count.size:
+            raise ValueError(
+                "server_response_stats merge needs matching server counts "
+                "(merge is additive across replications/time, not server "
+                "partitions)"
+            )
+        self._count += other._count
+        self._time_sum += other._time_sum
+        np.maximum(self._time_max, other._time_max, out=self._time_max)
+
+    def merge_partition(self, other: "Probe") -> None:
+        """Fold in the next *server shard*: arrays concatenate (shards
+        fold left to right, so shard order is server order)."""
+        self._check_merge(other)
+        if self._count is None or other._count is None:
+            raise ValueError("cannot merge unbound server_response_stats probes")
+        self._count = np.concatenate([self._count, other._count])
+        self._time_sum = np.concatenate([self._time_sum, other._time_sum])
+        self._time_max = np.concatenate([self._time_max, other._time_max])
+
+    def get_state(self) -> dict:
+        if self._count is None:
+            return {}
+        return {
+            "count": self._count.tolist(),
+            "time_sum": self._time_sum.tolist(),
+            "time_max": self._time_max.tolist(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        if "count" not in state:
+            return
+        self._count = np.asarray(state["count"], dtype=np.int64)
+        self._time_sum = np.asarray(state["time_sum"], dtype=np.int64)
+        self._time_max = np.asarray(state["time_max"], dtype=np.int64)
 
 
 @register_probe("dispatcher_stats")

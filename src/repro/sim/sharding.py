@@ -48,12 +48,19 @@ inside the shards).
 
 Both kernels register as ``"sharded"`` in their engine's registry and
 parameterize through the name itself: ``sharded`` (2 shards, serial),
-``sharded:4``, ``sharded:4:process``.
+``sharded:4``, ``sharded:4:process``.  A trailing ``:compiled`` token
+(``sharded:4:compiled``, ``sharded:4:process:compiled``) swaps each
+worker's departure resolver for the jitted two-pointer store from
+:mod:`repro.sim.compiled` (numpy fallback per worker when numba is
+missing) and, unsized, runs the compiled whole-block round loop in the
+coordinator for the policies that have one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
@@ -62,6 +69,12 @@ import numpy as np
 
 from .backends import _CHUNK_ROUNDS, EngineBackend, register_backend
 from .batchstore import BatchQueueStore, SizedBatchQueueStore
+from .blockdriver import (
+    SizedRunState,
+    UnsizedRunState,
+    drive_sized,
+    drive_unsized,
+)
 from .lifecycle import RunController, validate_start_round
 from .probes import (
     Probe,
@@ -143,7 +156,10 @@ class ShardInit:
 
     ``rates`` is the shard's own slice of the rate vector;  ``start`` is
     the global index of its first server (diagnostics only -- workers
-    operate entirely in shard-local server coordinates).
+    operate entirely in shard-local server coordinates).  ``resolver``
+    selects the departure-resolution implementation: ``"numpy"`` (the
+    prefix-sum store) or ``"compiled"`` (the jitted two-pointer store,
+    falling back to numpy per worker when numba is unavailable).
     """
 
     index: int
@@ -155,6 +171,7 @@ class ShardInit:
     sized: bool
     track_queue_series: bool
     probe_specs: tuple[ProbeSpec, ...]
+    resolver: str = "numpy"
 
     def probe_labels(self) -> tuple[str, ...]:
         """Labels of the worker's probes, in construction order."""
@@ -194,7 +211,16 @@ class ShardWorker:
         self.sized = init.sized
         self.warmup = init.warmup
         self.probes = ProbeSet(pairs, ctx)
-        self.store = SizedBatchQueueStore(n) if init.sized else BatchQueueStore(n)
+        if init.resolver == "compiled":
+            # Imported lazily: repro.sim.compiled registers backends and
+            # must not be pulled in while the registries are mid-import.
+            from .compiled import make_shard_store
+
+            self.store = make_shard_store(n, init.sized)
+        else:
+            self.store = (
+                SizedBatchQueueStore(n) if init.sized else BatchQueueStore(n)
+            )
         self.queues = np.zeros(n, dtype=np.int64)
         self._sink = (
             self.probes.observe_responses if self.probes.wants_responses else None
@@ -451,8 +477,12 @@ def _shard_worker_main(conn, init: ShardInit) -> None:
         conn.close()
 
 
+#: Feeder-thread shutdown sentinel (identity-compared, never pickled).
+_STOP = object()
+
+
 class MultiprocessShardStrategy(ShardStrategy):
-    """One worker process per shard, fed blocks over pipes.
+    """One worker process per shard, fed blocks over an async pipeline.
 
     Seed-stable by the same construction as the experiment executor's
     process pool: workers hold no RNG and no policy state -- every
@@ -460,11 +490,26 @@ class MultiprocessShardStrategy(ShardStrategy):
     -- so scheduling and interleaving cannot perturb any result; the
     probe states that come back are the ones the serial strategy
     produces, moved through ``state_dict`` (exact integer payloads).
-    Pipes apply natural backpressure: the coordinator runs ahead of the
-    shards by at most the OS pipe buffer.
+
+    ``feed`` never blocks on the pipe: each shard gets a daemon feeder
+    thread draining a small bounded queue, so the coordinator starts
+    dispatching round ``t+1`` while shards still resolve block ``t`` --
+    ``Connection.send`` of a multi-megabyte block would otherwise stall
+    the coordinator whenever a block outgrows the OS pipe buffer.  The
+    queue bound (a few blocks) keeps backpressure: a dead-slow shard
+    still throttles the coordinator instead of accumulating blocks in
+    memory.  Feeder threads are the **only** block senders; control
+    messages (restore/snapshot/finish) go from the coordinator thread
+    strictly after :meth:`_drain` proves the feeder idle, so exactly one
+    thread writes a pipe at any time.  Send failures are recorded, not
+    raised, in the feeder (it keeps draining so ``join`` cannot hang)
+    and surface on the next ``feed``/``snapshot``/``finish``.
     """
 
     name = "process"
+
+    #: Blocks a shard's feeder queue may hold before ``feed`` blocks.
+    PIPELINE_DEPTH = 4
 
     def start(
         self,
@@ -490,16 +535,55 @@ class MultiprocessShardStrategy(ShardStrategy):
                     self._conns[shard].send(("restore", state))
                 except (BrokenPipeError, OSError):
                     self._raise_shard_failure(shard)
+        # Feeders start only after any restore: no block may precede it.
+        self._send_errors: list[BaseException | None] = [None] * len(
+            self._inits
+        )
+        self._queues = [
+            queue.Queue(maxsize=self.PIPELINE_DEPTH) for _ in self._inits
+        ]
+        self._feeders = []
+        for shard, (feed_queue, conn) in enumerate(
+            zip(self._queues, self._conns)
+        ):
+            thread = threading.Thread(
+                target=self._feeder_main,
+                args=(shard, feed_queue, conn),
+                name=f"shard-feeder-{shard}",
+                daemon=True,
+            )
+            thread.start()
+            self._feeders.append(thread)
+
+    def _feeder_main(self, shard: int, feed_queue, conn) -> None:
+        while True:
+            item = feed_queue.get()
+            try:
+                if item is _STOP:
+                    return
+                if self._send_errors[shard] is None:
+                    try:
+                        conn.send(item)
+                    except (BrokenPipeError, OSError) as error:
+                        self._send_errors[shard] = error
+            finally:
+                feed_queue.task_done()
+
+    def _drain(self, shard: int) -> None:
+        """Wait until shard's feeder is idle; surface any send failure."""
+        self._queues[shard].join()
+        if self._send_errors[shard] is not None:
+            self._raise_shard_failure(shard)
 
     def feed(self, shard: int, payload: tuple) -> None:
-        try:
-            self._conns[shard].send(("block",) + payload)
-        except (BrokenPipeError, OSError):
+        if self._send_errors[shard] is not None:
             self._raise_shard_failure(shard)
+        self._queues[shard].put(("block",) + payload)
 
     def snapshot(self) -> list[dict]:
         states: list[dict] = []
         for shard, conn in enumerate(self._conns):
+            self._drain(shard)
             try:
                 conn.send(("snapshot",))
                 kind, payload = conn.recv()
@@ -513,6 +597,7 @@ class MultiprocessShardStrategy(ShardStrategy):
     def finish(self) -> list[dict[str, Probe]]:
         shard_maps: list[dict[str, Probe]] = []
         for shard, conn in enumerate(self._conns):
+            self._drain(shard)
             try:
                 conn.send(("finish",))
                 kind, payload = conn.recv()
@@ -541,11 +626,17 @@ class MultiprocessShardStrategy(ShardStrategy):
         raise RuntimeError(f"shard {shard} worker died{detail}")
 
     def close(self) -> None:
+        # Conns first: a feeder blocked mid-send fails fast instead of
+        # waiting on a worker that will never drain the pipe.
         for conn in getattr(self, "_conns", ()):
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        for feed_queue in getattr(self, "_queues", ()):
+            feed_queue.put(_STOP)
+        for thread in getattr(self, "_feeders", ()):
+            thread.join(timeout=5)
         for process in getattr(self, "_processes", ()):
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - hung worker
@@ -553,6 +644,8 @@ class MultiprocessShardStrategy(ShardStrategy):
                 process.join(timeout=5)
         self._conns = []
         self._processes = []
+        self._queues = []
+        self._feeders = []
 
 
 _STRATEGIES = {
@@ -578,7 +671,12 @@ def _fold_shards(shard_maps: list[dict[str, Probe]]) -> dict[str, Probe]:
 class _ShardedParams:
     """Shared constructor / registry-parameter parsing of both kernels."""
 
-    def __init__(self, shards: int = 2, strategy: str = "serial") -> None:
+    def __init__(
+        self,
+        shards: int = 2,
+        strategy: str = "serial",
+        resolver: str = "numpy",
+    ) -> None:
         shards = int(shards)
         if shards < 1:
             raise ValueError("shard count must be >= 1")
@@ -587,21 +685,45 @@ class _ShardedParams:
             raise ValueError(
                 f"unknown shard strategy {strategy!r}; known strategies: {known}"
             )
+        if resolver not in ("numpy", "compiled"):
+            raise ValueError(
+                f"unknown shard resolver {resolver!r}; "
+                f"known resolvers: compiled, numpy"
+            )
         self.shards = shards
         self.strategy = strategy
+        self.resolver = resolver
 
     @classmethod
     def from_param(cls, param: str):
-        """Registry-name parameters: ``"4"`` or ``"4:process"``."""
-        count, _, strategy = param.partition(":")
+        """Registry-name parameters: ``"4"``, ``"4:process"``,
+        ``"4:compiled"``, ``"4:process:compiled"``.
+
+        A trailing ``compiled`` token selects the compiled departure
+        resolver (and, unsized, the compiled coordinator round loop);
+        any other token in strategy position is validated as a strategy,
+        so ``sharded:2:quantum`` still reports an unknown strategy.
+        """
+        parts = param.split(":")
         try:
-            shards = int(count)
+            shards = int(parts[0])
         except ValueError:
             raise ValueError(
-                f"invalid shard count {count!r}; parameterize as "
+                f"invalid shard count {parts[0]!r}; parameterize as "
                 f"'sharded:N' or 'sharded:N:serial|process'"
             ) from None
-        return cls(shards=shards, strategy=strategy or "serial")
+        rest = [token for token in parts[1:] if token]
+        resolver = "numpy"
+        if rest and rest[-1] == "compiled":
+            resolver = "compiled"
+            rest = rest[:-1]
+        if len(rest) > 1:
+            raise ValueError(
+                f"too many shard parameters in {param!r}; parameterize as "
+                f"'sharded:N[:serial|process][:compiled]'"
+            )
+        strategy = rest[0] if rest else "serial"
+        return cls(shards=shards, strategy=strategy, resolver=resolver)
 
     def _shard_inits(
         self,
@@ -625,9 +747,26 @@ class _ShardedParams:
                 sized=sized,
                 track_queue_series=track_queue_series,
                 probe_specs=probe_specs,
+                resolver=self.resolver,
             )
             for index, (lo, hi) in enumerate(plan.ranges())
         ]
+
+    def _round_kernel(self, sim):
+        """Subclass/param seam: an optional whole-block native round loop.
+
+        With the ``compiled`` resolver and live jitted paths, the
+        coordinator also runs the compiled whole-block round loop for
+        the policies that have one -- same rule as the ``compiled``
+        backend, so sharded results stay bit-identical.
+        """
+        if self.resolver != "compiled":
+            return None
+        from . import compiled
+
+        if not (compiled.numba_enabled() or compiled._FORCE_STORES):
+            return None
+        return compiled.compiled_round_kernel_for(sim.policy)
 
     @staticmethod
     def _assemble_probes(
@@ -668,20 +807,13 @@ class ShardedBackend(_ShardedParams, EngineBackend):
     def run(
         self, sim: "Simulation", controller: RunController | None = None
     ) -> "SimulationResult":
-        from repro.policies.base import has_native_dispatch_round
-
         from .engine import SimulationResult
 
         config = sim.config
         policy = sim.policy
-        arrivals = sim.arrivals
-        service = sim.service
-        arrival_rng = sim._streams.arrivals
-        departure_rng = sim._streams.departures
 
         n = sim.rates.size
-        m = arrivals.num_dispatchers
-        native = has_native_dispatch_round(policy)
+        m = sim.arrivals.num_dispatchers
         plan = ShardPlan.balanced(n, self.shards)
         ranges = plan.ranges()
         shard_specs, coordinator_specs = split_probe_specs(config.probes)
@@ -694,10 +826,12 @@ class ShardedBackend(_ShardedParams, EngineBackend):
             state = controller.initial_state()
         if state is not None:
             coordinator_probes = state["coordinator_probes"]
-            queues = state["queues"]
-            total_arrived = state["total_arrived"]
-            server_received = state["server_received"]
-            server_departed = state["server_departed"]
+            run_state = UnsizedRunState(
+                queues=state["queues"],
+                total_arrived=state["total_arrived"],
+                server_received=state["server_received"],
+                server_departed=state["server_departed"],
+            )
             shard_states = state["shards"]
         else:
             coordinator_probes = ProbeSet(
@@ -711,13 +845,38 @@ class ShardedBackend(_ShardedParams, EngineBackend):
                     sized=False,
                 ),
             )
-            queues = np.zeros(n, dtype=np.int64)
-            total_arrived = 0
-            server_received = np.zeros(n, dtype=np.int64)
-            server_departed = np.zeros(n, dtype=np.int64)
+            run_state = UnsizedRunState(
+                queues=np.zeros(n, dtype=np.int64),
+                total_arrived=0,
+                server_received=np.zeros(n, dtype=np.int64),
+                server_departed=np.zeros(n, dtype=np.int64),
+            )
             shard_states = None
-        need_queues = "queues" in coordinator_probes.fields
         strategy = _STRATEGIES[self.strategy]()
+
+        def consume(block) -> None:
+            # The per-block exchange: each shard gets its slice of the
+            # admission/completion matrices (its queue slice and series
+            # follow from those deltas worker-side).
+            for index, (lo, hi) in enumerate(ranges):
+                strategy.feed(
+                    index,
+                    (
+                        block.start_round,
+                        block.received[:, lo:hi],
+                        block.done[:, lo:hi],
+                    ),
+                )
+
+        def export_state() -> dict:
+            return {
+                "coordinator_probes": coordinator_probes,
+                "queues": run_state.queues,
+                "total_arrived": run_state.total_arrived,
+                "server_received": run_state.server_received,
+                "server_departed": run_state.server_departed,
+                "shards": strategy.snapshot(),
+            }
 
         try:
             strategy.start(
@@ -733,103 +892,23 @@ class ShardedBackend(_ShardedParams, EngineBackend):
                 ),
                 states=shard_states,
             )
-            for chunk_start in range(start_round, config.rounds, _CHUNK_ROUNDS):
-                chunk = min(_CHUNK_ROUNDS, config.rounds - chunk_start)
-                arrival_block = arrivals.sample_many(arrival_rng, chunk_start, chunk)
-                capacity_block = service.sample_many(
-                    departure_rng, chunk_start, chunk
-                )
-                received_block = np.zeros((chunk, n), dtype=np.int64)
-                done_block = np.zeros((chunk, n), dtype=np.int64)
-                queue_block = (
-                    np.zeros((chunk, n), dtype=np.int64) if need_queues else None
-                )
-
-                for i in range(chunk):
-                    t = chunk_start + i
-
-                    # Phase 1: arrivals (pre-sampled).
-                    batch = arrival_block[i]
-                    round_total = int(batch.sum())
-                    total_arrived += round_total
-
-                    # Phase 2: one batched dispatch against the global view.
-                    policy.begin_round(t, queues)
-                    if round_total:
-                        policy.observe_total_arrivals(round_total)
-                        if native:
-                            rows = policy.dispatch_round(batch, queues)
-                            if rows.shape != (m, n):
-                                raise ValueError(
-                                    f"{policy.name}.dispatch_round returned shape "
-                                    f"{rows.shape}, expected ({m}, {n})"
-                                )
-                            received = rows.sum(axis=0)
-                        else:
-                            received = np.zeros(n, dtype=np.int64)
-                            for d in range(m):
-                                k = int(batch[d])
-                                if k == 0:
-                                    continue
-                                received += policy.dispatch(d, k)
-                        if int(received.sum()) != round_total:
-                            raise ValueError(
-                                f"{policy.name} assigned {int(received.sum())} "
-                                f"jobs for a round of {round_total}"
-                            )
-                        received_block[i] = received
-                        queues += received
-                        server_received += received
-
-                    # Phase 3: departures -- queue totals here, FIFO
-                    # resolution inside the shards at block end.
-                    done = np.minimum(queues, capacity_block[i])
-                    done_block[i] = done
-                    queues -= done
-
-                    policy.end_round(t, queues)
-                    if queue_block is not None:
-                        queue_block[i] = queues
-
-                server_departed += done_block.sum(axis=0)
-                # The per-block exchange: each shard gets its slice of
-                # the admission/completion matrices (its queue slice and
-                # series follow from those deltas worker-side).
-                for index, (lo, hi) in enumerate(ranges):
-                    strategy.feed(
-                        index,
-                        (
-                            chunk_start,
-                            received_block[:, lo:hi],
-                            done_block[:, lo:hi],
-                        ),
-                    )
-                if coordinator_probes.wants_blocks:
-                    fields = coordinator_probes.fields
-                    coordinator_probes.observe_block(
-                        ProbeBlock(
-                            start_round=chunk_start,
-                            length=chunk,
-                            batch=arrival_block if "batch" in fields else None,
-                            received=(
-                                received_block if "received" in fields else None
-                            ),
-                            done=done_block if "done" in fields else None,
-                            queues=queue_block,
-                        )
-                    )
-                if controller is not None:
-                    controller.after_block(
-                        chunk_start + chunk,
-                        lambda: {
-                            "coordinator_probes": coordinator_probes,
-                            "queues": queues,
-                            "total_arrived": total_arrived,
-                            "server_received": server_received,
-                            "server_departed": server_departed,
-                            "shards": strategy.snapshot(),
-                        },
-                    )
+            drive_unsized(
+                policy=policy,
+                arrivals=sim.arrivals,
+                service=sim.service,
+                arrival_rng=sim._streams.arrivals,
+                departure_rng=sim._streams.departures,
+                rounds=config.rounds,
+                warmup=config.warmup,
+                start_round=start_round,
+                state=run_state,
+                block_probes=coordinator_probes,
+                series=None,  # shard workers record their own slices
+                consume=consume,
+                controller=controller,
+                export_state=export_state,
+                round_kernel=self._round_kernel(sim),
+            )
             folded = _fold_shards(strategy.finish())
         finally:
             strategy.close()
@@ -845,12 +924,12 @@ class ShardedBackend(_ShardedParams, EngineBackend):
             queue_series=(
                 queue_series_probe.series if queue_series_probe is not None else None
             ),
-            total_arrived=total_arrived,
-            total_departed=int(server_departed.sum()),
-            final_queued=int(queues.sum()),
-            final_queues=queues,
-            server_received=server_received,
-            server_departed=server_departed,
+            total_arrived=run_state.total_arrived,
+            total_departed=int(run_state.server_departed.sum()),
+            final_queued=int(run_state.queues.sum()),
+            final_queues=run_state.queues,
+            server_received=run_state.server_received,
+            server_departed=run_state.server_departed,
             probes=probes,
         )
 
@@ -885,14 +964,9 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
         from .sized import SizedSimulationResult
 
         policy = sim.policy
-        arrivals = sim.arrivals
-        service = sim.service
-        sizes = sim.sizes
-        arrival_rng = sim._streams.arrivals
-        departure_rng = sim._streams.departures
 
         n = sim.rates.size
-        m = arrivals.num_dispatchers
+        m = sim.arrivals.num_dispatchers
         plan = ShardPlan.balanced(n, self.shards)
         ranges = plan.ranges()
         bounds = np.asarray(plan.bounds, dtype=np.int64)
@@ -906,10 +980,12 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
             state = controller.initial_state()
         if state is not None:
             coordinator_probes = state["coordinator_probes"]
-            unit_queues = state["unit_queues"]
-            total_jobs = state["total_jobs"]
-            units_in = state["units_in"]
-            units_out = state["units_out"]
+            run_state = SizedRunState(
+                unit_queues=state["unit_queues"],
+                total_jobs=state["total_jobs"],
+                units_in=state["units_in"],
+                units_out=state["units_out"],
+            )
             shard_states = state["shards"]
         else:
             coordinator_probes = ProbeSet(
@@ -923,16 +999,42 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
                     sized=True,
                 ),
             )
-            unit_queues = np.zeros(n, dtype=np.int64)
-            total_jobs = 0
-            units_in = 0
-            units_out = 0
+            run_state = SizedRunState(
+                unit_queues=np.zeros(n, dtype=np.int64),
+                total_jobs=0,
+                units_in=0,
+                units_out=0,
+            )
             shard_states = None
-        need_queues = "queues" in coordinator_probes.fields
         strategy = _STRATEGIES[self.strategy]()
-        # Flat (dispatcher-major) cell index -> server, as in the sized
-        # fast kernel.
-        cell_server = np.tile(np.arange(n), m)
+
+        def consume(block) -> None:
+            # Cut the server-major job arrays at the shard bounds; each
+            # shard gets its jobs in shard-local server coordinates.
+            cuts = np.searchsorted(block.job_servers, bounds)
+            for index, (lo, hi) in enumerate(ranges):
+                a, b = int(cuts[index]), int(cuts[index + 1])
+                strategy.feed(
+                    index,
+                    (
+                        block.start_round,
+                        block.received[:, lo:hi],
+                        block.done[:, lo:hi],
+                        block.job_servers[a:b] - lo,
+                        block.job_rounds[a:b],
+                        block.job_sizes[a:b],
+                    ),
+                )
+
+        def export_state() -> dict:
+            return {
+                "coordinator_probes": coordinator_probes,
+                "unit_queues": run_state.unit_queues,
+                "total_jobs": run_state.total_jobs,
+                "units_in": run_state.units_in,
+                "units_out": run_state.units_out,
+                "shards": strategy.snapshot(),
+            }
 
         try:
             strategy.start(
@@ -948,134 +1050,23 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
                 ),
                 states=shard_states,
             )
-            for chunk_start in range(start_round, sim.rounds, _CHUNK_ROUNDS):
-                chunk = min(_CHUNK_ROUNDS, sim.rounds - chunk_start)
-
-                # Phase 1 (pre-sampled): arrivals and sizes, interleaved
-                # per round exactly as the reference/fast kernels consume
-                # them.
-                batch_block = np.empty((chunk, m), dtype=np.int64)
-                size_rows: list[np.ndarray] = []
-                for i in range(chunk):
-                    batch = arrivals.sample(arrival_rng, chunk_start + i)
-                    batch_block[i] = batch
-                    k = int(batch.sum())
-                    size_rows.append(
-                        sizes.sample(arrival_rng, k) if k else _EMPTY_JOBS
-                    )
-                capacity_block = service.sample_many(
-                    departure_rng, chunk_start, chunk
-                )
-                received_block = np.zeros((chunk, n), dtype=np.int64)
-                done_block = np.zeros((chunk, n), dtype=np.int64)
-                queue_block = (
-                    np.zeros((chunk, n), dtype=np.int64) if need_queues else None
-                )
-                job_servers: list[np.ndarray] = []
-                job_rounds: list[np.ndarray] = []
-                job_sizes: list[np.ndarray] = []
-
-                for i in range(chunk):
-                    t = chunk_start + i
-                    batch = batch_block[i]
-                    round_total = int(batch.sum())
-                    total_jobs += round_total
-
-                    # Phase 2: one batched dispatch for the whole round.
-                    policy.begin_round(t, unit_queues)
-                    if round_total:
-                        policy.observe_total_arrivals(round_total)
-                        rows = policy.dispatch_round(batch, unit_queues)
-                        if rows.shape != (m, n):
-                            raise ValueError(
-                                f"{policy.name}.dispatch_round returned shape "
-                                f"{rows.shape}, expected ({m}, {n})"
-                            )
-                        flat = rows.ravel()
-                        if int(flat.sum()) != round_total:
-                            raise ValueError(
-                                f"{policy.name} assigned {int(flat.sum())} "
-                                f"jobs for a round of {round_total}"
-                            )
-                        round_sizes = size_rows[i]
-                        size_bounds = np.concatenate(
-                            ([0], np.cumsum(round_sizes))
-                        )
-                        cell_ends = np.cumsum(flat)
-                        cell_units = (
-                            size_bounds[cell_ends] - size_bounds[cell_ends - flat]
-                        )
-                        received_units = cell_units.reshape(m, n).sum(axis=0)
-                        unit_queues += received_units
-                        units_in += int(received_units.sum())
-                        received_block[i] = received_units
-                        job_servers.append(np.repeat(cell_server, flat))
-                        job_rounds.append(
-                            np.full(round_total, t, dtype=np.int64)
-                        )
-                        job_sizes.append(round_sizes)
-
-                    # Phase 3: departures -- unit totals here, per-job
-                    # FIFO resolution inside the shards at block end.
-                    done = np.minimum(unit_queues, capacity_block[i])
-                    done_block[i] = done
-                    unit_queues -= done
-                    units_out += int(done.sum())
-
-                    policy.end_round(t, unit_queues)
-                    if queue_block is not None:
-                        queue_block[i] = unit_queues
-
-                # Sort the block's jobs server-major (stable: admission
-                # order within a server), then cut at the shard bounds.
-                if job_servers:
-                    srv = np.concatenate(job_servers)
-                    order = np.argsort(srv, kind="stable")
-                    srv = srv[order]
-                    rounds_sorted = np.concatenate(job_rounds)[order]
-                    sizes_sorted = np.concatenate(job_sizes)[order]
-                else:
-                    srv = rounds_sorted = sizes_sorted = _EMPTY_JOBS
-                cuts = np.searchsorted(srv, bounds)
-                for index, (lo, hi) in enumerate(ranges):
-                    a, b = int(cuts[index]), int(cuts[index + 1])
-                    strategy.feed(
-                        index,
-                        (
-                            chunk_start,
-                            received_block[:, lo:hi],
-                            done_block[:, lo:hi],
-                            srv[a:b] - lo,
-                            rounds_sorted[a:b],
-                            sizes_sorted[a:b],
-                        ),
-                    )
-                if coordinator_probes.wants_blocks:
-                    fields = coordinator_probes.fields
-                    coordinator_probes.observe_block(
-                        ProbeBlock(
-                            start_round=chunk_start,
-                            length=chunk,
-                            batch=batch_block if "batch" in fields else None,
-                            received=(
-                                received_block if "received" in fields else None
-                            ),
-                            done=done_block if "done" in fields else None,
-                            queues=queue_block,
-                        )
-                    )
-                if controller is not None:
-                    controller.after_block(
-                        chunk_start + chunk,
-                        lambda: {
-                            "coordinator_probes": coordinator_probes,
-                            "unit_queues": unit_queues,
-                            "total_jobs": total_jobs,
-                            "units_in": units_in,
-                            "units_out": units_out,
-                            "shards": strategy.snapshot(),
-                        },
-                    )
+            drive_sized(
+                policy=policy,
+                arrivals=sim.arrivals,
+                service=sim.service,
+                sizes=sim.sizes,
+                arrival_rng=sim._streams.arrivals,
+                departure_rng=sim._streams.departures,
+                rounds=sim.rounds,
+                start_round=start_round,
+                state=run_state,
+                block_probes=coordinator_probes,
+                series=None,  # shard workers record their own slices
+                collect_received=True,
+                consume=consume,
+                controller=controller,
+                export_state=export_state,
+            )
             folded = _fold_shards(strategy.finish())
         finally:
             strategy.close()
@@ -1087,9 +1078,9 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
             policy_name=policy.name,
             histogram=probes["responses"].histogram,
             queue_series=probes["queue_series"].series,
-            total_jobs=total_jobs,
-            total_units_arrived=units_in,
-            total_units_departed=units_out,
-            final_units_queued=int(unit_queues.sum()),
+            total_jobs=run_state.total_jobs,
+            total_units_arrived=run_state.units_in,
+            total_units_departed=run_state.units_out,
+            final_units_queued=int(run_state.unit_queues.sum()),
             probes=probes,
         )

@@ -49,10 +49,15 @@ import numpy as np
 
 from ._registry import BackendRegistry
 from .batchstore import SizedBatchQueueStore
+from .blockdriver import (
+    BLOCK_ROUNDS,
+    SizedBlock,
+    SizedRunState,
+    drive_sized,
+)
 from .lifecycle import RunController, validate_start_round
 from .probes import (
     BlockRecorder,
-    ProbeBlock,
     ProbeContext,
     ProbeSet,
     ResponseTee,
@@ -262,10 +267,9 @@ class SizedReferenceBackend(SizedEngineBackend):
         )
 
 
-#: Rounds pre-sampled per block by the fast sized backend (mirrors
-#: ``repro.sim.backends._CHUNK_ROUNDS``; bounds the workload-block and
-#: job-array memory).
-_CHUNK_ROUNDS = 256
+#: Rounds pre-sampled per block by the block-structured sized backends
+#: (the loop itself lives in :mod:`repro.sim.blockdriver`).
+_CHUNK_ROUNDS = BLOCK_ROUNDS
 
 _EMPTY_SIZES = np.empty(0, dtype=np.int64)
 
@@ -304,18 +308,14 @@ class SizedFastBackend(SizedEngineBackend):
         "deterministic policies)"
     )
 
+    def _make_store(self, num_servers: int) -> SizedBatchQueueStore:
+        """Subclass seam: which departure resolver backs a fresh run."""
+        return SizedBatchQueueStore(num_servers)
+
     def run(
         self, sim: "SizedSimulation", controller: RunController | None = None
     ) -> "SizedSimulationResult":
-        policy = sim.policy
-        arrivals = sim.arrivals
-        service = sim.service
-        sizes = sim.sizes
-        arrival_rng = sim._streams.arrivals
-        departure_rng = sim._streams.departures
-
         n = sim.rates.size
-        m = arrivals.num_dispatchers
         start_round = 0
         state = None
         if controller is not None:
@@ -325,170 +325,75 @@ class SizedFastBackend(SizedEngineBackend):
             state = controller.initial_state()
         if state is not None:
             store = state["store"]
-            unit_queues = state["unit_queues"]
             probes = state["probes"]
-            total_jobs = state["total_jobs"]
-            units_in = state["units_in"]
-            units_out = state["units_out"]
+            run_state = SizedRunState(
+                unit_queues=state["unit_queues"],
+                total_jobs=state["total_jobs"],
+                units_in=state["units_in"],
+                units_out=state["units_out"],
+            )
         else:
-            store = SizedBatchQueueStore(n)
-            unit_queues = np.zeros(n, dtype=np.int64)
+            store = self._make_store(n)
             probes = _probe_set_for(sim)
-            total_jobs = 0
-            units_in = 0
-            units_out = 0
+            run_state = SizedRunState(
+                unit_queues=np.zeros(n, dtype=np.int64),
+                total_jobs=0,
+                units_in=0,
+                units_out=0,
+            )
         histogram = probes.histogram
-        series = probes.queue_series
-        need_queues = "queues" in probes.fields
-        need_received = "received" in probes.fields
-        need_done_rows = "done" in probes.fields
         response_sink = (
             probes.observe_responses if probes.wants_responses else None
         )
-        # Flat (dispatcher-major) cell index -> server, matching both the
-        # C-order ravel of a dispatch_round matrix and the order in which
-        # the reference assigns a dispatcher's sizes to servers.
-        cell_server = np.tile(np.arange(n), m)
 
-        for chunk_start in range(start_round, sim.rounds, _CHUNK_ROUNDS):
-            chunk = min(_CHUNK_ROUNDS, sim.rounds - chunk_start)
-
-            # Phase 1 (pre-sampled): arrivals and sizes, interleaved
-            # per round exactly as the reference consumes them.
-            batch_block = np.empty((chunk, m), dtype=np.int64)
-            size_rows: list[np.ndarray] = []
-            for i in range(chunk):
-                batch = arrivals.sample(arrival_rng, chunk_start + i)
-                batch_block[i] = batch
-                k = int(batch.sum())
-                size_rows.append(
-                    sizes.sample(arrival_rng, k) if k else _EMPTY_SIZES
-                )
-            capacity_block = service.sample_many(departure_rng, chunk_start, chunk)
-            done_block = np.zeros((chunk, n), dtype=np.int64)
-            received_block = (
-                np.zeros((chunk, n), dtype=np.int64) if need_received else None
+        def consume(block: SizedBlock) -> None:
+            store.process_block(
+                block.start_round,
+                block.job_servers,
+                block.job_rounds,
+                block.job_sizes,
+                block.done,
+                histogram,
+                sim.warmup,
+                response_sink=response_sink,
             )
-            queue_block = (
-                np.zeros((chunk, n), dtype=np.int64) if need_queues else None
-            )
-            job_servers: list[np.ndarray] = []
-            job_rounds: list[np.ndarray] = []
-            job_sizes: list[np.ndarray] = []
 
-            for i in range(chunk):
-                t = chunk_start + i
-                batch = batch_block[i]
-                round_total = int(batch.sum())
-                total_jobs += round_total
+        def export_state() -> dict:
+            return {
+                "store": store,
+                "unit_queues": run_state.unit_queues,
+                "probes": probes,
+                "total_jobs": run_state.total_jobs,
+                "units_in": run_state.units_in,
+                "units_out": run_state.units_out,
+            }
 
-                # Phase 2: one batched dispatch for the whole round.
-                policy.begin_round(t, unit_queues)
-                if round_total:
-                    policy.observe_total_arrivals(round_total)
-                    rows = policy.dispatch_round(batch, unit_queues)
-                    if rows.shape != (m, n):
-                        raise ValueError(
-                            f"{policy.name}.dispatch_round returned shape "
-                            f"{rows.shape}, expected ({m}, {n})"
-                        )
-                    flat = rows.ravel()
-                    if int(flat.sum()) != round_total:
-                        raise ValueError(
-                            f"{policy.name} assigned {int(flat.sum())} "
-                            f"jobs for a round of {round_total}"
-                        )
-                    # The round's sizes are consumed dispatcher-major,
-                    # within a dispatcher in server-index order -- the
-                    # C-order of `rows`.  A prefix-sum over the flat
-                    # size vector yields every cell's unit total.
-                    round_sizes = size_rows[i]
-                    bounds = np.concatenate(
-                        ([0], np.cumsum(round_sizes))
-                    )
-                    cell_ends = np.cumsum(flat)
-                    cell_units = bounds[cell_ends] - bounds[cell_ends - flat]
-                    received_units = cell_units.reshape(m, n).sum(axis=0)
-                    unit_queues += received_units
-                    units_in += int(received_units.sum())
-                    if received_block is not None:
-                        received_block[i] = received_units
-                    job_servers.append(np.repeat(cell_server, flat))
-                    job_rounds.append(np.full(round_total, t, dtype=np.int64))
-                    job_sizes.append(round_sizes)
-
-                # Phase 3: departures -- unit totals now, per-job FIFO
-                # resolution at block end.
-                done = np.minimum(unit_queues, capacity_block[i])
-                done_block[i] = done
-                unit_queues -= done
-                units_out += int(done.sum())
-
-                policy.end_round(t, unit_queues)
-                series.record(int(unit_queues.sum()))
-                if queue_block is not None:
-                    queue_block[i] = unit_queues
-
-            # Block resolution: jobs are concatenated in (round,
-            # dispatcher) admission order; a stable sort by server turns
-            # that into the server-major FIFO order the store requires.
-            if job_servers:
-                srv = np.concatenate(job_servers)
-                order = np.argsort(srv, kind="stable")
-                store.process_block(
-                    chunk_start,
-                    srv[order],
-                    np.concatenate(job_rounds)[order],
-                    np.concatenate(job_sizes)[order],
-                    done_block,
-                    histogram,
-                    sim.warmup,
-                    response_sink=response_sink,
-                )
-            else:
-                store.process_block(
-                    chunk_start,
-                    _EMPTY_SIZES,
-                    _EMPTY_SIZES,
-                    _EMPTY_SIZES,
-                    done_block,
-                    histogram,
-                    sim.warmup,
-                    response_sink=response_sink,
-                )
-            if probes.wants_blocks:
-                fields = probes.fields
-                probes.observe_block(
-                    ProbeBlock(
-                        start_round=chunk_start,
-                        length=chunk,
-                        batch=batch_block if "batch" in fields else None,
-                        received=received_block,
-                        done=done_block if need_done_rows else None,
-                        queues=queue_block,
-                    )
-                )
-            if controller is not None:
-                controller.after_block(
-                    chunk_start + chunk,
-                    lambda: {
-                        "store": store,
-                        "unit_queues": unit_queues,
-                        "probes": probes,
-                        "total_jobs": total_jobs,
-                        "units_in": units_in,
-                        "units_out": units_out,
-                    },
-                )
+        drive_sized(
+            policy=sim.policy,
+            arrivals=sim.arrivals,
+            service=sim.service,
+            sizes=sim.sizes,
+            arrival_rng=sim._streams.arrivals,
+            departure_rng=sim._streams.departures,
+            rounds=sim.rounds,
+            start_round=start_round,
+            state=run_state,
+            block_probes=probes,
+            series=probes.queue_series,
+            collect_received=False,
+            consume=consume,
+            controller=controller,
+            export_state=export_state,
+        )
 
         return _make_result(
             sim,
             histogram=histogram,
             queue_series=probes.queue_series,
-            total_jobs=total_jobs,
-            total_units_arrived=units_in,
-            total_units_departed=units_out,
-            final_units_queued=int(unit_queues.sum()),
+            total_jobs=run_state.total_jobs,
+            total_units_arrived=run_state.units_in,
+            total_units_departed=run_state.units_out,
+            final_units_queued=int(run_state.unit_queues.sum()),
             probes=probes.as_dict(),
         )
 
@@ -497,3 +402,4 @@ class SizedFastBackend(SizedEngineBackend):
 # keep this at the bottom so the registry machinery above exists when
 # it does.
 from . import sharding  # noqa: E402,F401  (registration side effect)
+from . import compiled  # noqa: E402,F401  (registration side effect)

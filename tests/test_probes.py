@@ -51,6 +51,7 @@ from repro.workloads.scenarios import SystemSpec
 
 ALL_EXTRAS = (
     "server_stats",
+    "server_response_stats",
     "dispatcher_stats",
     "herding",
     ProbeSpec.of("windowed_mean", window=100),
@@ -59,6 +60,7 @@ BUILTIN_PROBES = (
     "responses",
     "queue_series",
     "server_stats",
+    "server_response_stats",
     "dispatcher_stats",
     "windowed_mean",
     "herding",
@@ -385,6 +387,57 @@ class TestBuiltinSemantics:
         )
         distribution = probe.queue_length_distribution()
         assert distribution.sum() == pytest.approx(1.0)
+
+    def test_server_response_stats_matches_histogram(self):
+        result = run_unsized("jsq", "fast", warmup=100)
+        probe = result.probes["server_response_stats"]
+        assert probe.response_counts().sum() == result.histogram.total
+        assert (
+            probe.max_response_times().max()
+            == result.histogram.max_response_time
+        )
+        summary = probe.summary()
+        assert summary["responses"] == result.histogram.total
+        assert summary["mean_response"] == pytest.approx(
+            result.mean_response_time
+        )
+        assert summary["server_mean_min"] <= summary["server_mean_max"]
+        # Per-server means reconcile with the pooled mean.
+        counts = probe.response_counts()
+        means = probe.mean_response_times()
+        pooled = np.nansum(means * counts) / counts.sum()
+        assert pooled == pytest.approx(result.mean_response_time)
+
+    def test_server_response_stats_partition_merge_concatenates(self):
+        from repro.sim.probes import ProbeContext, ServerResponseStatsProbe
+
+        def bound(n):
+            probe = ServerResponseStatsProbe()
+            probe.bind(ProbeContext(
+                num_servers=n, num_dispatchers=1, rates=np.ones(n),
+                rounds=10, warmup=0, sized=False))
+            return probe
+
+        left, right = bound(2), bound(1)
+        left.observe_responses(
+            np.array([3, 4]), np.array([2, 5]), np.array([1, 2]),
+            np.array([0, 1]))
+        right.observe_responses(
+            np.array([6]), np.array([7]), np.array([3]), np.array([0]))
+        left.merge_partition(right)
+        np.testing.assert_array_equal(left.response_counts(), [1, 2, 3])
+        np.testing.assert_array_equal(left.max_response_times(), [2, 5, 7])
+
+    def test_server_response_stats_merge_rejects_size_mismatch(self):
+        from repro.sim.probes import ProbeContext, ServerResponseStatsProbe
+
+        a, b = ServerResponseStatsProbe(), ServerResponseStatsProbe()
+        for probe, n in ((a, 2), (b, 3)):
+            probe.bind(ProbeContext(
+                num_servers=n, num_dispatchers=1, rates=np.ones(n),
+                rounds=10, warmup=0, sized=False))
+        with pytest.raises(ValueError, match="matching server counts"):
+            a.merge(b)
 
     def test_dispatcher_stats_totals_match_arrivals(self):
         result = run_unsized("rr", "fast")

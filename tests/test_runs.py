@@ -272,7 +272,7 @@ class TestRun:
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 @given(
-    backend=st.sampled_from(["reference", "fast", "sharded:2"]),
+    backend=st.sampled_from(["reference", "fast", "sharded:2", "compiled"]),
     sized=st.booleans(),
     legs_before_kill=st.integers(min_value=1, max_value=3),
 )

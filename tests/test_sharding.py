@@ -60,7 +60,8 @@ NATIVE_BIT_IDENTICAL_POLICIES = ["lsq", "hlsq", "led", "jiq"]
 NATIVE_STOCHASTIC_POLICIES = ["wr", "jsq(2)"]
 
 SHARD_COUNTS = [1, 2, 4]
-ALL_EXTRA_PROBES = ("server_stats", "dispatcher_stats", "windowed_mean", "herding")
+ALL_EXTRA_PROBES = ("server_stats", "server_response_stats",
+                    "dispatcher_stats", "windowed_mean", "herding")
 
 
 def run_once(policy, backend, seed=0, n=9, m=3, rho=0.85, rounds=400, warmup=0,
@@ -199,10 +200,25 @@ class TestRegistry:
             make_backend("sharded:0")
         with pytest.raises(ValueError, match="unknown shard strategy"):
             make_backend("sharded:2:quantum")
+        with pytest.raises(ValueError, match="too many shard parameters"):
+            make_backend("sharded:2:serial:process:compiled")
         with pytest.raises(ValueError, match="takes no ':' parameters"):
             make_backend("fast:3")
         with pytest.raises(ValueError, match="unknown engine backend"):
             make_backend("warp:3")
+
+    def test_compiled_resolver_parses(self):
+        """A trailing ``compiled`` token selects the resolver; any other
+        token in that position is still validated as a strategy."""
+        backend = make_backend("sharded:4:compiled")
+        assert backend.shards == 4
+        assert backend.strategy == "serial"
+        assert backend.resolver == "compiled"
+        both = make_sized_backend("sharded:2:process:compiled")
+        assert both.strategy == "process" and both.resolver == "compiled"
+        assert make_backend("sharded:2").resolver == "numpy"
+        with pytest.raises(ValueError, match="unknown shard strategy"):
+            make_backend("sharded:2:compiled:compiled")
 
     def test_strategies_exposed(self):
         assert SerialShardStrategy.name == "serial"
@@ -309,6 +325,56 @@ class TestProcessStrategy:
         a = run_sized_once("sed", "sharded:2", seed=5, rounds=300)
         b = run_sized_once("sed", "sharded:2:process", seed=5, rounds=300)
         assert_sized_identical(a, b)
+
+    def test_async_feeder_pipelines_many_blocks(self):
+        """Enough blocks to wrap the feeder queue several times; results
+        must still be the serial strategy's exactly."""
+        a = run_once("rr", "sharded:2", seed=8, rounds=5 * 256 + 19)
+        b = run_once("rr", "sharded:2:process", seed=8, rounds=5 * 256 + 19)
+        assert_identical(a, b)
+
+
+class TestCompiledResolver:
+    """``sharded:N[:strategy]:compiled`` -- shard-side compiled stores
+    (numpy fallback without numba) plus the compiled coordinator round
+    loop where the policy has one."""
+
+    @pytest.mark.parametrize(
+        "policy", DETERMINISTIC_POLICIES + FALLBACK_POLICIES
+    )
+    def test_fallback_matches_fast(self, policy):
+        """Without numba the compiled resolver degrades to the numpy
+        stores per worker; results must be untouched."""
+        a = run_once(policy, "fast", seed=5)
+        b = run_once(policy, "sharded:2:compiled", seed=5)
+        assert_identical(a, b)
+
+    @pytest.mark.parametrize("policy", DETERMINISTIC_POLICIES)
+    def test_forced_compiled_stores_match_fast(self, policy, monkeypatch):
+        """The compiled control flow itself (forced on, serial strategy)
+        is bit-identical -- round kernel included for rr/wrr."""
+        from repro.sim import compiled
+
+        monkeypatch.setattr(compiled, "_FORCE_STORES", True)
+        a = run_once(policy, "fast", seed=5, rounds=600, warmup=100,
+                     probes=ALL_EXTRA_PROBES)
+        b = run_once(policy, "sharded:3:compiled", seed=5, rounds=600,
+                     warmup=100, probes=ALL_EXTRA_PROBES)
+        assert_identical(a, b)
+
+    def test_forced_sized_compiled_stores_match_fast(self, monkeypatch):
+        from repro.sim import compiled
+
+        monkeypatch.setattr(compiled, "_FORCE_STORES", True)
+        a = run_sized_once("jsq", "fast", seed=17, rounds=600, rho=1.02)
+        b = run_sized_once("jsq", "sharded:3:compiled", seed=17, rounds=600,
+                           rho=1.02)
+        assert_sized_identical(a, b)
+
+    def test_process_strategy_composes(self):
+        a = run_once("rr", "sharded:2", seed=5, rounds=300)
+        b = run_once("rr", "sharded:2:process:compiled", seed=5, rounds=300)
+        assert_identical(a, b)
 
 
 class TestShardingPropertyBased:
@@ -492,9 +558,12 @@ class TestMergePartition:
             WindowedMeanProbe,
         )
 
+        from repro.sim.probes import ServerResponseStatsProbe
+
         assert ResponseTimeProbe.partitionable
         assert QueueSeriesProbe.partitionable
         assert ServerStatsProbe.partitionable
+        assert ServerResponseStatsProbe.partitionable
         assert WindowedMeanProbe.partitionable
         assert HerdingSignalProbe.partitionable
         assert not DispatcherStatsProbe.partitionable

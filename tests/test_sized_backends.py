@@ -85,6 +85,14 @@ def run_once(policy, sizes, backend, seed=0, n=8, m=3, rho=0.85, rounds=400):
     ).run()
 
 
+def forced_sized_compiled():
+    """A sized ``compiled`` backend running the compiled control flow
+    even without numba (the plain-Python twins of the jitted code)."""
+    backend = make_sized_backend("compiled")
+    backend.force = True
+    return backend
+
+
 def assert_identical(a, b):
     """Both SizedSimulationResults describe the exact same run."""
     assert a.total_jobs == b.total_jobs
@@ -176,6 +184,73 @@ class TestBitExactness:
         """DeterministicSize(1) recovers the base model's job counting."""
         a = run_once("jsq", DeterministicSize(1), "fast", seed=2)
         assert a.total_units_arrived == a.total_jobs
+
+
+class TestCompiledBitExactness:
+    """The sized ``compiled`` kernel against ``fast``, compiled control
+    flow forced on so numba-less hosts cover the jitted per-job resolver's
+    exact (plain-Python) body."""
+
+    def test_registered_with_description(self):
+        assert "compiled" in available_sized_backends()
+        assert sized_backend_descriptions()["compiled"]
+
+    @pytest.mark.parametrize("dist", sorted(SIZE_DISTRIBUTIONS))
+    @pytest.mark.parametrize(
+        "policy", DETERMINISTIC_POLICIES + FALLBACK_POLICIES
+    )
+    def test_bit_identical_to_fast(self, policy, dist):
+        sizes = SIZE_DISTRIBUTIONS[dist]
+        a = run_once(policy, sizes, "fast", seed=5, rounds=300)
+        b = run_once(policy, sizes, forced_sized_compiled(), seed=5, rounds=300)
+        assert_identical(a, b)
+
+    def test_multi_block_partial_head_carry(self):
+        """Large jobs partially served across block boundaries must carry
+        their remaining units identically."""
+        sizes = BimodalSize(small=2, large=40, large_prob=0.1)
+        a = run_once("jsq", sizes, "fast", seed=17, rounds=600, rho=1.02)
+        b = run_once(
+            "jsq", sizes, forced_sized_compiled(), seed=17, rounds=600, rho=1.02
+        )
+        assert_identical(a, b)
+
+    @given(
+        policy=st.sampled_from(DETERMINISTIC_POLICIES + ["scd"]),
+        dist=st.sampled_from(sorted(SIZE_DISTRIBUTIONS)),
+        seed=st.integers(0, 2**20),
+        n=st.integers(2, 7),
+        m=st.integers(1, 4),
+        rho=st.floats(0.3, 1.05),
+        rounds=st.integers(1, 120),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_agrees_with_fast(
+        self, policy, dist, seed, n, m, rho, rounds
+    ):
+        sizes = SIZE_DISTRIBUTIONS[dist]
+        rng = np.random.default_rng(seed % 1000)
+        rates = rng.uniform(0.5, 12.0, size=n)
+        jobs_per_round = rho * rates.sum() / sizes.mean
+        lambdas = np.full(m, jobs_per_round / m)
+        results = []
+        for backend in ("fast", forced_sized_compiled()):
+            result = SizedSimulation(
+                rates=rates,
+                policy=make_policy(policy),
+                arrivals=PoissonArrivals(lambdas),
+                service=GeometricService(rates),
+                sizes=sizes,
+                rounds=rounds,
+                seed=seed,
+                backend=backend,
+            ).run()
+            assert (
+                result.total_units_arrived
+                == result.total_units_departed + result.final_units_queued
+            )
+            results.append(result)
+        assert_identical(*results)
 
 
 class TestStochasticNativePaths:
