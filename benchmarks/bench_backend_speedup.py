@@ -44,6 +44,13 @@ Two hardware-dependent cells gate conditionally:
   when the box has at least two CPUs**; on 1-CPU boxes the cell records
   its numbers and the gate auto-skips.
 
+A service cell (``--service-sizes``, default 50x20) stands up the whole
+coordination service in-process (job manager, coordinator, HTTP API,
+one worker) and times HTTP submit to the first ``cell-finished`` event
+on the streaming endpoint, recording the overhead beyond the cell's own
+simulation time; ``--check`` bars that overhead at a generous 2s (a
+regression guard on polling/buffering, not a noise-sensitive timing).
+
 Under ``pytest benchmarks`` a single smoke cell per engine (sharded,
 compiled, and process included) runs and validates the record's shape
 without asserting timings (CI boxes are too noisy for a gating speedup
@@ -81,6 +88,7 @@ DEFAULT_SHARDED_SIZES = ("200x100",)
 DEFAULT_COMPILED_SIZES = ("200x100",)
 DEFAULT_PROCESS_SIZES = ("200x100",)
 DEFAULT_CHECKPOINT_SIZES = ("100x50",)
+DEFAULT_SERVICE_SIZES = ("50x20",)
 #: Checkpoint cadence for the run-lifecycle overhead cell (blocks).
 CHECKPOINT_EVERY = 4
 #: Every built-in probe beyond the default collectors (the worst-case
@@ -103,6 +111,12 @@ SHARD_OVERHEAD_TARGET = 0.25
 #: :data:`CHECKPOINT_EVERY` blocks, telemetry streaming) may cost at
 #: most this fraction over the plain fast-kernel run it wraps.
 CHECKPOINT_OVERHEAD_TARGET = 0.10
+#: Acceptance bar: submit-to-first-streamed-metric latency through the
+#: whole service stack (HTTP submit -> coordinator lease -> worker cell
+#: -> telemetry streamed back over the events endpoint), *excluding*
+#: the cell's own simulation time.  Generous: the bound protects
+#: against pathological polling/buffering regressions, not noise.
+SERVICE_FIRST_METRIC_TARGET = 2.0
 #: Acceptance bar: compiled/reference rounds-per-second at the 200x100
 #: grid point -- gated by ``--check`` only when numba is importable.
 COMPILED_TARGET_SPEEDUP = 10.0
@@ -475,6 +489,88 @@ def time_checkpoint_overhead(
     return cell
 
 
+def time_service_cell(
+    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
+) -> dict:
+    """Service-stack latency: HTTP submit to first streamed metric.
+
+    Spins up the whole coordination service in-process (job manager,
+    federation coordinator, HTTP API, one worker thread), submits a
+    single-cell grid by descriptor, and times POST ``/jobs`` until the
+    ``cell-finished`` event arrives over the streaming events endpoint.
+    The same simulation also runs directly, so the recorded
+    ``service_overhead_seconds`` isolates what the service stack itself
+    costs (lease round-trips, telemetry polling, HTTP chunking) from
+    the cell's simulation time.
+    """
+    import threading
+
+    from repro.experiments.grid import Experiment
+    from repro.service import (
+        FederationCoordinator,
+        FederationWorker,
+        JobManager,
+        ServiceAPI,
+    )
+    from repro.service.client import iter_job_events, submit_job
+    from repro.workloads.scenarios import SystemSpec
+
+    cell: dict = {
+        "engine": "service_first_metric",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+    }
+    experiment = Experiment(
+        policies=[policy],
+        systems=SystemSpec(n, m),
+        loads=[rho],
+        rounds=rounds,
+        base_seed=seed,
+        backend="fast",
+    )
+    best_plain = float("inf")
+    for _ in range(repeats):
+        sim = _build_sim(policy, n, m, rho, rounds, seed, "fast")
+        start = time.perf_counter()
+        sim.run()
+        best_plain = min(best_plain, time.perf_counter() - start)
+    best = float("inf")
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            manager = JobManager(Path(tmp))
+            coordinator = FederationCoordinator(manager, heartbeat_interval=0.5)
+            coordinator.start()
+            api = ServiceAPI(manager, coordinator)
+            api.start()
+            # The worker idles until the job lands (it must NOT exit
+            # when drained: the queue is empty until the submit below).
+            worker = FederationWorker(coordinator.address, poll_interval=0.05)
+            thread = threading.Thread(target=worker.run)
+            thread.start()
+            try:
+                start = time.perf_counter()
+                created = submit_job(api.url, experiment.describe())
+                for event in iter_job_events(api.url, created["job"], follow=True):
+                    if event["event"] == "cell-finished":
+                        best = min(best, time.perf_counter() - start)
+                        break
+            finally:
+                worker.stop()
+                thread.join()
+                api.stop()
+                coordinator.stop()
+                manager.close()
+    cell["plain_seconds"] = best_plain
+    cell["first_metric_seconds"] = best
+    cell["service_overhead_seconds"] = best - best_plain
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
 def _best_at_target(cells: list[dict], engine: str) -> float | None:
     at_target = [
         c
@@ -501,6 +597,7 @@ def run_grid(
     checkpoint_sizes: tuple[str, ...] = (),
     compiled_sizes: tuple[str, ...] = (),
     process_sizes: tuple[str, ...] = (),
+    service_sizes: tuple[str, ...] = (),
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -586,6 +683,18 @@ def run_grid(
             f"every{CHECKPOINT_EVERY}={cell['checkpointed_rounds_per_sec']:9.0f} r/s  "
             f"overhead={100 * cell['checkpoint_overhead_fraction']:+.1f}%"
         )
+    service_overheads = []
+    for token in service_sizes:
+        n, m = _parse_size(token)
+        cell = time_service_cell("jsq", n, m, rho, rounds, seed, repeats)
+        cells.append(cell)
+        service_overheads.append(cell["service_overhead_seconds"])
+        print(
+            f"service n={n:4d} m={m:3d} jsq    "
+            f"plain={cell['plain_seconds']:6.2f}s  "
+            f"first-metric={cell['first_metric_seconds']:6.2f}s  "
+            f"overhead={cell['service_overhead_seconds']:+.2f}s"
+        )
     return {
         "benchmark": "backend_speedup",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -606,6 +715,7 @@ def run_grid(
             "process_sizes": list(process_sizes),
             "checkpoint_sizes": list(checkpoint_sizes),
             "checkpoint_every": CHECKPOINT_EVERY,
+            "service_sizes": list(service_sizes),
             "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
@@ -630,6 +740,10 @@ def run_grid(
             "checkpoint_overhead_target": CHECKPOINT_OVERHEAD_TARGET,
             "checkpoint_overhead_fraction": (
                 max(checkpoint_overheads) if checkpoint_overheads else None
+            ),
+            "service_first_metric_target": SERVICE_FIRST_METRIC_TARGET,
+            "service_overhead_seconds": (
+                max(service_overheads) if service_overheads else None
             ),
             "compiled_target_size": COMPILED_TARGET_SIZE,
             "compiled_target_speedup": COMPILED_TARGET_SPEEDUP,
@@ -721,6 +835,16 @@ def main(argv: list[str] | None = None) -> int:
         f"snapshotting every {CHECKPOINT_EVERY} blocks vs the plain fast "
         "kernel; empty list skips it)",
     )
+    parser.add_argument(
+        "--service-sizes",
+        nargs="*",
+        default=list(DEFAULT_SERVICE_SIZES),
+        metavar="NxM",
+        help="grid points for the service-latency cell (HTTP submit to "
+        "first streamed metric through the in-process coordination "
+        "service, minus the cell's own simulation time; empty list "
+        "skips it)",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -739,7 +863,8 @@ def main(argv: list[str] | None = None) -> int:
         f"reference at {COMPILED_TARGET_SIZE} when numba is importable, and "
         f"requires a sharded:N:process wall-clock speedup (>1x) on "
         f"multi-CPU boxes (both auto-skip where the hardware cannot "
-        f"deliver them)",
+        f"deliver them), and bars the service submit-to-first-metric "
+        f"overhead at {SERVICE_FIRST_METRIC_TARGET:.0f}s",
     )
     args = parser.parse_args(argv)
 
@@ -759,6 +884,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_sizes=tuple(args.checkpoint_sizes),
         compiled_sizes=tuple(args.compiled_sizes),
         process_sizes=tuple(args.process_sizes),
+        service_sizes=tuple(args.service_sizes),
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -838,6 +964,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"OK (compiled): {compiled_best:.2f}x >= "
                 f"{COMPILED_TARGET_SPEEDUP:.0f}x"
             )
+    service_overhead = record["headline"]["service_overhead_seconds"]
+    if service_overhead is not None:
+        print(
+            f"headline (service): worst submit-to-first-metric overhead "
+            f"{service_overhead:+.2f}s"
+        )
+        if args.check:
+            if service_overhead > SERVICE_FIRST_METRIC_TARGET:
+                print(
+                    f"FAIL (service): {service_overhead:.2f}s > "
+                    f"{SERVICE_FIRST_METRIC_TARGET:.1f}s"
+                )
+                failures += 1
+            else:
+                print(
+                    f"OK (service): {service_overhead:.2f}s <= "
+                    f"{SERVICE_FIRST_METRIC_TARGET:.1f}s"
+                )
+    elif args.check and args.service_sizes:
+        print("--check requires a service cell")
+        misconfigured = True
     process_best = record["headline"]["process_best_speedup"]
     cpu_count = record["headline"]["cpu_count"]
     if process_best is not None:
@@ -874,12 +1021,15 @@ def test_backend_speedup_record(tmp_path):
         probe_sizes=("10x4",), sharded_sizes=("10x4",),
         checkpoint_sizes=("10x4",),
         compiled_sizes=("10x4",), process_sizes=("10x4",),
+        service_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
-    unsized, sized, compiled, sharded, process, probes, checkpoint = loaded["cells"]
+    (
+        unsized, sized, compiled, sharded, process, probes, checkpoint, service,
+    ) = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
         assert cell["reference_rounds_per_sec"] > 0
@@ -913,6 +1063,14 @@ def test_backend_speedup_record(tmp_path):
     assert checkpoint["checkpointed_rounds_per_sec"] > 0
     # The checkpointed leg replays the identical deterministic run.
     assert checkpoint["plain_mean_response"] == checkpoint["checkpointed_mean_response"]
+    assert service["engine"] == "service_first_metric"
+    assert service["first_metric_seconds"] > 0
+    assert service["first_metric_seconds"] > service["plain_seconds"]
+    assert (
+        service["service_overhead_seconds"]
+        == service["first_metric_seconds"] - service["plain_seconds"]
+    )
+    assert loaded["headline"]["service_overhead_seconds"] is not None
     assert loaded["headline"]["probe_overhead_fraction"] is not None
     assert loaded["headline"]["shard_overhead_fraction"] is not None
     assert loaded["headline"]["checkpoint_overhead_fraction"] is not None

@@ -42,6 +42,7 @@ __all__ = [
     "sweep_from_dict",
     "save_sweep",
     "load_sweep",
+    "experiment_from_descriptor",
     "experiment_result_to_dict",
     "experiment_result_from_dict",
     "save_experiment",
@@ -332,16 +333,18 @@ def experiment_result_to_dict(
     }
 
 
-def experiment_result_from_dict(payload: dict) -> ExperimentResult:
-    """Inverse of :func:`experiment_result_to_dict`."""
-    version = payload.get("format_version")
-    if payload.get("kind") != "experiment_result" or version != _EXPERIMENT_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported experiment format: kind={payload.get('kind')!r} "
-            f"version={version!r}"
-        )
-    spec = payload["experiment"]
-    experiment = Experiment(
+def experiment_from_descriptor(spec: dict) -> Experiment:
+    """Rebuild a declarative :class:`Experiment` from its JSON descriptor.
+
+    The inverse of :meth:`Experiment.describe`, shared by result loading
+    and the service job API (``POST /jobs`` bodies are exactly these
+    descriptors).  Workload names, skew, and dispatcher weights
+    round-trip exactly; workloads that carried custom factories come
+    back with :class:`UnreconstructedFactory` placeholders, so the
+    rebuilt grid raises if *executed* under the old name instead of
+    silently simulating the default workload.
+    """
+    return Experiment(
         policies=tuple(
             PolicySpec(name=p["name"], kwargs=tuple(sorted(p["kwargs"].items())))
             for p in spec["policies"]
@@ -359,6 +362,17 @@ def experiment_result_from_dict(payload: dict) -> ExperimentResult:
             for p in spec.get("metrics", ())
         ),
     )
+
+
+def experiment_result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_result_to_dict`."""
+    version = payload.get("format_version")
+    if payload.get("kind") != "experiment_result" or version != _EXPERIMENT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported experiment format: kind={payload.get('kind')!r} "
+            f"version={version!r}"
+        )
+    experiment = experiment_from_descriptor(payload["experiment"])
     records = tuple(_record_from_dict(r) for r in payload["records"])
     return ExperimentResult(experiment=experiment, records=records)
 

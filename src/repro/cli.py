@@ -23,6 +23,12 @@ Subcommands
 ``resume``      continue a killed/paused run (or experiment run) from
                 its newest valid checkpoint, bit-identically
 ``tail``        print or follow (``-f``) a run's telemetry events
+``runs``        ``runs list DIR``: inventory the run directories on disk
+``serve``       start the coordination service: HTTP job API + worker
+                coordinator (federated experiment execution)
+``worker``      register with a coordinator and serve grid cells
+``submit``      POST an experiment to a running service's job API
+``status``      show a service's workers, leases and job progress
 
 Examples
 --------
@@ -44,6 +50,11 @@ Examples
         --checkpoint-dir runs/scd-09 --checkpoint-every 4
     repro resume runs/scd-09
     repro tail runs/scd-09 --follow
+    repro runs list runs/
+    repro serve --data-dir service/ --port 8642
+    repro worker --data-dir service/ --exit-when-idle
+    repro submit --data-dir service/ --policies scd jsq --loads 0.9 --follow
+    repro status --data-dir service/
 """
 
 from __future__ import annotations
@@ -491,6 +502,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             directory,
             checkpoint_every=args.checkpoint_every,
             telemetry=args.telemetry,
+            keep=args.keep,
         )
     except (FileExistsError, ValueError) as error:
         raise SystemExit(str(error))
@@ -556,6 +568,7 @@ def cmd_tail(args: argparse.Namespace) -> int:
     from repro.runs import follow_events, iter_events
 
     target = Path(args.directory)
+    stop = None
     if target.is_dir():
         manifest_path = target / "run.json"
         if not manifest_path.exists():
@@ -566,9 +579,14 @@ def cmd_tail(args: argparse.Namespace) -> int:
         path = Path(telemetry)
         if not path.is_absolute():
             path = target / path
+        # Following a run directory ends when the run does -- the same
+        # follow_events stop-predicate loop the HTTP metrics streamer
+        # runs, so both tails drain the final events and exit cleanly.
+        result_path = target / "result.json"
+        stop = result_path.exists
     else:
-        path = target  # a telemetry file directly
-    events = follow_events(path) if args.follow else iter_events(path)
+        path = target  # a telemetry file directly: follow forever
+    events = follow_events(path, stop=stop) if args.follow else iter_events(path)
     try:
         for record in events:
             print(
@@ -577,6 +595,246 @@ def cmd_tail(args: argparse.Namespace) -> int:
             )
     except KeyboardInterrupt:
         return 0
+    return 0
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.runs import scan_runs
+
+    rows = scan_runs(args.directory)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        raise SystemExit(f"no run directories under {args.directory}")
+
+    def dash(value):
+        return "-" if value is None else value
+
+    table = []
+    for row in rows:
+        if row["kind"] == "experiment_run":
+            progress = f"{dash(row.get('cells_done'))}/{dash(row.get('cells'))} cells"
+        elif row["kind"] == "simulation_run":
+            progress = f"{dash(row.get('rounds_done'))}/{dash(row.get('rounds'))} rounds"
+        else:
+            progress = "-"
+        table.append(
+            [
+                Path(row["directory"]).name,
+                row["kind"],
+                row["status"],
+                progress,
+                dash(row.get("checkpoints")),
+                dash(row.get("last_checkpoint")),
+                dash(row.get("telemetry_seq")),
+            ]
+        )
+    print(
+        format_table(
+            ["run", "kind", "status", "progress", "ckpts", "last_ckpt", "seq"],
+            table,
+            title=f"Runs under {args.directory}",
+        )
+    )
+    return 0
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    """The API base URL from --url or a data dir's service.json."""
+    if getattr(args, "url", None):
+        return args.url.rstrip("/")
+    data_dir = getattr(args, "data_dir", None)
+    if data_dir:
+        path = Path(data_dir) / "service.json"
+        if not path.exists():
+            raise SystemExit(
+                f"no service manifest at {path}; is `repro serve` running?"
+            )
+        return str(json.loads(path.read_text())["api"]).rstrip("/")
+    raise SystemExit("pass --url or --data-dir to locate the service")
+
+
+def _coordinator_address(args: argparse.Namespace) -> tuple[str, int]:
+    """The worker socket address from --connect or service.json."""
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        try:
+            return (host or "127.0.0.1", int(port))
+        except ValueError:
+            raise SystemExit(
+                f"invalid --connect {args.connect!r}; expected HOST:PORT"
+            )
+    if args.data_dir:
+        path = Path(args.data_dir) / "service.json"
+        if not path.exists():
+            raise SystemExit(
+                f"no service manifest at {path}; is `repro serve` running?"
+            )
+        host, port = json.loads(path.read_text())["coordinator"]
+        return (str(host), int(port))
+    raise SystemExit("pass --connect or --data-dir to locate the coordinator")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.service import FederationCoordinator, JobManager, ServiceAPI
+
+    data_dir = Path(args.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    manager = JobManager(data_dir)
+    coordinator = FederationCoordinator(
+        manager,
+        host=args.host,
+        port=args.coordinator_port,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+    )
+    coordinator.start()
+    api = ServiceAPI(manager, coordinator, host=args.host, port=args.port)
+    api.start()
+    manifest_path = data_dir / "service.json"
+    manifest_path.write_text(
+        json.dumps(
+            {
+                "api": api.url,
+                "coordinator": list(coordinator.address),
+                "pid": os.getpid(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    host, port = coordinator.address
+    print(f"job API:     {api.url}")
+    print(f"coordinator: {host}:{port} (workers: `repro worker --connect {host}:{port}`)")
+    print(f"manifest:    {manifest_path}")
+    stopping = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stopping.set())
+    try:
+        stopping.wait()
+    finally:
+        api.stop()
+        coordinator.stop()
+        manager.close()
+        manifest_path.unlink(missing_ok=True)
+    print("service stopped")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import run_worker
+
+    address = _coordinator_address(args)
+    print(f"worker connecting to {address[0]}:{address[1]}")
+    try:
+        done = run_worker(
+            address,
+            name=args.name,
+            workdir=args.workdir,
+            max_cells=args.max_cells,
+            exit_when_idle=args.exit_when_idle,
+            poll_interval=args.poll_interval,
+        )
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(f"cannot reach the coordinator: {error}")
+    print(f"worker exiting after {done} cell(s)")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, iter_job_events, submit_job
+
+    if args.descriptor:
+        body = json.loads(Path(args.descriptor).read_text())
+        descriptor = body.get("experiment", body)
+    else:
+        systems = tuple(
+            _parse_system_token(token, args.profile, args.rate_seed)
+            for token in args.systems
+        )
+        try:
+            experiment = Experiment(
+                policies=tuple(args.policies),
+                systems=systems,
+                loads=tuple(args.loads),
+                replications=args.replications,
+                workloads=(_parse_workload(args.workload),),
+                rounds=args.rounds,
+                warmup=args.warmup,
+                base_seed=args.seed,
+                backend=args.backend,
+                metrics=_parse_metrics(args.metrics),
+            )
+        except ValueError as error:
+            raise SystemExit(f"invalid experiment: {error}")
+        descriptor = experiment.describe()
+    url = _service_url(args)
+    try:
+        status = submit_job(url, descriptor, checkpoint_every=args.checkpoint_every)
+    except ServiceError as error:
+        raise SystemExit(f"submission rejected: {error}")
+    job = status["job"]
+    print(f"submitted {job}: {status['cells']} cell(s)")
+    if not args.follow:
+        print(f"watch with `repro status --url {url} {job}`")
+        return 0
+    try:
+        for event in iter_job_events(url, job, follow=True):
+            print(_format_event(event), flush=True)
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, job_status, service_status
+
+    url = _service_url(args)
+    try:
+        if args.job:
+            payload = job_status(url, args.job)
+        else:
+            payload = service_status(url)
+    except ServiceError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.job:
+        print(
+            f"{payload['id']}: {payload['state']} "
+            f"({payload['cells_done']}/{payload['cells']} cells)"
+        )
+        for lease in payload.get("leases", ()):
+            print(
+                f"  cell {lease['cell']} leased to {lease['worker']} "
+                f"(pid {lease['pid']}, checkpoint round "
+                f"{lease['checkpoint_round']})"
+            )
+        if payload.get("error"):
+            print(f"  error: {payload['error']}")
+        return 0
+    host, port = payload["address"]
+    print(f"coordinator {host}:{port}: {len(payload['workers'])} worker(s), "
+          f"{len(payload['leases'])} lease(s), "
+          f"{payload['pending_cells']} pending cell(s)")
+    for worker in payload["workers"]:
+        state = "alive" if worker["alive"] else "gone"
+        print(
+            f"  {worker['name']} (pid {worker['pid']}, {state}): "
+            f"{worker['cells_done']} cell(s) done, "
+            f"last seen {worker['last_seen_age']:.1f}s ago"
+        )
+    for lease in payload["leases"]:
+        print(
+            f"  lease: {lease['job']} cell {lease['cell']} -> "
+            f"{lease['worker']} (checkpoint round {lease['checkpoint_round']})"
+        )
     return 0
 
 
@@ -754,6 +1012,13 @@ def build_parser() -> argparse.ArgumentParser:
         "run directory; relative paths resolve against it)",
     )
     p.add_argument(
+        "--keep",
+        type=int,
+        metavar="K",
+        help="checkpoint retention: keep the newest K snapshots plus "
+        "power-of-two anchors back to round 0 (default: keep everything)",
+    )
+    p.add_argument(
         "--max-legs",
         type=int,
         metavar="N",
@@ -787,6 +1052,145 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true", help="print raw JSONL instead of formatting"
     )
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser("runs", help="inspect run directories on disk")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    p = runs_sub.add_parser(
+        "list", help="inventory a directory of runs: status, progress, checkpoints"
+    )
+    p.add_argument("directory", help="a run directory or a directory of runs")
+    p.add_argument("--json", action="store_true", help="print raw JSON rows")
+    p.set_defaults(func=cmd_runs_list)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the coordination service: HTTP job API + worker coordinator",
+    )
+    p.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="service state root: jobs/, telemetry, the service.json manifest",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="job API port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--coordinator-port",
+        type=int,
+        default=0,
+        help="worker socket port (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="expected worker heartbeat period",
+    )
+    p.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        default=3,
+        metavar="N",
+        help="missed heartbeats before a worker is declared lost and its "
+        "cells are reassigned",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker", help="serve cells for a coordinator until drained/stopped"
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="coordinator worker-socket address",
+    )
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="discover the coordinator from DIR/service.json instead",
+    )
+    p.add_argument("--name", help="worker identity (default hostname-pid)")
+    p.add_argument(
+        "--workdir",
+        metavar="DIR",
+        help="scratch directory for cell runs (default: a temp dir)",
+    )
+    p.add_argument(
+        "--max-cells", type=int, metavar="N", help="exit after N cells"
+    )
+    p.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit once the coordinator reports no work left anywhere",
+    )
+    p.add_argument("--poll-interval", type=float, default=0.5, metavar="SECONDS")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "submit", help="submit an experiment grid to a running service"
+    )
+    p.add_argument("--url", metavar="URL", help="job API base URL")
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="discover the API from DIR/service.json instead",
+    )
+    p.add_argument(
+        "--descriptor",
+        metavar="FILE",
+        help="submit a saved experiment descriptor JSON instead of grid flags",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="BLOCKS",
+        help="per-cell checkpoint cadence in 256-round blocks (the "
+        "failover/adoption grain)",
+    )
+    p.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="stream the job's telemetry until it finishes",
+    )
+    p.add_argument("--policies", nargs="+", default=["scd", "jsq", "sed"])
+    p.add_argument("--systems", nargs="+", default=["100x10"], metavar="NxM")
+    p.add_argument("--loads", type=float, nargs="+", default=[0.7, 0.9, 0.99])
+    p.add_argument("--replications", "-r", type=int, default=1)
+    p.add_argument(
+        "--workload",
+        default="paper",
+        help="paper (default) or skew:FACTOR; workloads with custom "
+        "factories (bursty, sized) cannot travel as descriptors -- submit "
+        "those in-process",
+    )
+    p.add_argument("--backend", default="reference", metavar="BACKEND")
+    p.add_argument("--metrics", nargs="*", default=[], metavar="PROBE")
+    p.add_argument(
+        "--profile",
+        default="u1_10",
+        choices=["u1_10", "u1_100", "bimodal", "homogeneous"],
+    )
+    p.add_argument("--rate-seed", type=int, default=7)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="show a running service's workers, leases and jobs"
+    )
+    p.add_argument("job", nargs="?", help="a job id for per-job status")
+    p.add_argument("--url", metavar="URL", help="job API base URL")
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="discover the API from DIR/service.json instead",
+    )
+    p.add_argument("--json", action="store_true", help="print raw JSON")
+    p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("stability", help="empirical verdict + Appendix D bound")
     p.add_argument("--policy", default="scd")

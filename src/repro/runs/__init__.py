@@ -10,8 +10,9 @@ resume.  The CLI front ends are ``repro run``, ``repro resume`` and
 ``repro tail``.
 """
 
-from .checkpoint import CheckpointError, CheckpointStore
+from .checkpoint import CheckpointError, CheckpointStore, retained_rounds
 from .experiment import ExperimentRun
+from .inventory import inspect_run, scan_runs
 from .orchestrator import (
     BLOCK_ROUNDS,
     CheckpointController,
@@ -31,6 +32,9 @@ __all__ = [
     "Run",
     "TelemetryWriter",
     "follow_events",
+    "inspect_run",
     "iter_events",
     "probe_summaries_from_state",
+    "retained_rounds",
+    "scan_runs",
 ]

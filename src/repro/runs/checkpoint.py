@@ -32,9 +32,46 @@ import tempfile
 import warnings
 from pathlib import Path
 
-__all__ = ["CheckpointError", "CheckpointStore"]
+__all__ = ["CheckpointError", "CheckpointStore", "retained_rounds"]
 
 _FORMAT_VERSION = 1
+
+
+def retained_rounds(
+    rounds, keep_last: int, stride: int | None = None
+) -> list[int]:
+    """Which checkpoint rounds a retention policy preserves, ascending.
+
+    The policy keeps the newest ``keep_last`` checkpoints plus every
+    power-of-two checkpoint ordinal (rounds ``stride``, ``2*stride``,
+    ``4*stride``, ...), so a long run retains a dense recent window for
+    cheap resume and exponentially thinning anchors back to the start
+    for deep-history adoption, at O(keep_last + log(run length)) stored
+    snapshots.  ``stride`` is the round distance between consecutive
+    checkpoints; when omitted it is inferred from the smallest round
+    present (the ordinal-1 checkpoint is itself always retained, so the
+    inference is stable across repeated prunes).  Rounds that are not a
+    multiple of the stride are defensively kept.
+    """
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+    rounds = sorted(int(r) for r in rounds)
+    if not rounds:
+        return []
+    if stride is None:
+        stride = rounds[0]
+    stride = int(stride)
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    keep = set(rounds[-keep_last:])
+    for r in rounds:
+        if r % stride:
+            keep.add(r)  # off-grid snapshot: not ours to judge, keep it
+            continue
+        ordinal = r // stride
+        if ordinal > 0 and ordinal & (ordinal - 1) == 0:
+            keep.add(r)  # power-of-two anchor
+    return sorted(keep)
 
 
 class CheckpointError(RuntimeError):
@@ -114,20 +151,16 @@ class CheckpointStore:
                 continue
         return sorted(rounds)
 
-    def load_latest(self) -> tuple[dict, object] | None:
-        """``(manifest, payload_object)`` of the newest valid checkpoint.
+    def _newest_valid(
+        self, failures: list[str], skip: frozenset[str] = frozenset()
+    ) -> tuple[dict, bytes] | None:
+        """``(manifest, raw_blob)`` of the newest hash-valid checkpoint.
 
-        Returns ``None`` when the store holds no committed checkpoint
-        (fresh run).  Corrupted or truncated checkpoints -- unreadable
-        manifest, missing payload, hash mismatch, unpicklable blob --
-        are rejected with a warning and the walk falls back to the
-        previous snapshot; if manifests exist but none validates,
-        raises :class:`CheckpointError` naming every failure.
+        Walks manifests newest first, ignoring names in ``skip``; every
+        rejected snapshot appends to ``failures`` and warns.  Returns
+        ``None`` when no manifest survives (callers decide whether that
+        is a fresh store or an error, via ``failures``).
         """
-        paths = self.manifest_paths()
-        if not paths:
-            return None
-        failures: list[str] = []
 
         def reject(path: Path, reason: str) -> None:
             failures.append(f"{path.name}: {reason}")
@@ -135,10 +168,12 @@ class CheckpointStore:
                 f"checkpoint {path.name} rejected ({reason}); "
                 f"falling back to the previous snapshot",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
 
-        for path in paths:
+        for path in self.manifest_paths():
+            if path.name in skip:
+                continue
             try:
                 manifest = json.loads(path.read_text())
             except (OSError, ValueError) as error:
@@ -164,13 +199,79 @@ class CheckpointStore:
             if digest != manifest.get("sha256"):
                 reject(path, "payload hash mismatch (truncated or corrupted)")
                 continue
+            return manifest, blob
+        return None
+
+    def latest_blob(self) -> tuple[dict, bytes] | None:
+        """``(manifest, raw_payload_bytes)`` of the newest valid checkpoint.
+
+        The transport-facing twin of :meth:`load_latest`: the blob is
+        hash-verified but **not** unpickled, so a coordinator can adopt
+        and re-ship a snapshot without trusting or paying for its
+        contents.  Returns ``None`` when nothing valid is stored (a
+        fresh directory, or every snapshot damaged -- shipping callers
+        treat both as "start from round 0").
+        """
+        failures: list[str] = []
+        return self._newest_valid(failures)
+
+    def load_latest(self) -> tuple[dict, object] | None:
+        """``(manifest, payload_object)`` of the newest valid checkpoint.
+
+        Returns ``None`` when the store holds no committed checkpoint
+        (fresh run).  Corrupted or truncated checkpoints -- unreadable
+        manifest, missing payload, hash mismatch, unpicklable blob --
+        are rejected with a warning and the walk falls back to the
+        previous snapshot; if manifests exist but none validates,
+        raises :class:`CheckpointError` naming every failure.
+        """
+        if not self.manifest_paths():
+            return None
+        failures: list[str] = []
+        skip: set[str] = set()
+        while True:
+            found = self._newest_valid(failures, skip=frozenset(skip))
+            if found is None:
+                raise CheckpointError(
+                    "no usable checkpoint: every snapshot failed validation -- "
+                    + "; ".join(failures)
+                )
+            manifest, blob = found
             try:
-                payload = pickle.loads(blob)
+                return manifest, pickle.loads(blob)
             except Exception as error:  # torn pickle despite matching hash
-                reject(path, f"unpicklable payload: {error}")
-                continue
-            return manifest, payload
-        raise CheckpointError(
-            "no usable checkpoint: every snapshot failed validation -- "
-            + "; ".join(failures)
-        )
+                name = self._manifest_name(int(manifest["round"]))
+                failures.append(f"{name}: unpicklable payload: {error}")
+                warnings.warn(
+                    f"checkpoint {name} rejected (unpicklable payload: "
+                    f"{error}); falling back to the previous snapshot",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                skip.add(name)
+
+    def _discard(self, round_index: int) -> None:
+        """Remove one checkpoint, manifest (the commit point) first."""
+        for path in (
+            self.directory / self._manifest_name(round_index),
+            self.directory / self._payload_name(round_index),
+        ):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def prune(self, keep_last: int, stride: int | None = None) -> list[int]:
+        """Apply the retention policy; returns the rounds removed.
+
+        Keeps the newest ``keep_last`` checkpoints plus the power-of-two
+        ordinal anchors (see :func:`retained_rounds`).  Each removal
+        deletes the manifest before the payload, so a crash mid-prune
+        leaves at worst an orphaned payload that loaders already ignore.
+        """
+        rounds = self.rounds()
+        keep = set(retained_rounds(rounds, keep_last, stride))
+        removed = [r for r in rounds if r not in keep]
+        for round_index in removed:
+            self._discard(round_index)
+        return removed

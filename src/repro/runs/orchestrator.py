@@ -116,7 +116,13 @@ class CheckpointController(RunController):
     copy of the blob, never the live kernel state) and
     ``checkpoint-written`` once the snapshot is committed.  With
     ``max_legs`` set, raises :class:`LegLimitReached` after that many
-    checkpoints.
+    checkpoints.  ``keep`` applies the retention policy of
+    :func:`repro.runs.checkpoint.retained_rounds` after every commit
+    (newest ``keep`` plus power-of-two anchors; emits
+    ``checkpoints-pruned`` when snapshots are collected), and
+    ``on_checkpoint(manifest, blob)`` is called after each commit --
+    the federation worker's seam for shipping snapshots to its
+    coordinator.
     """
 
     def __init__(
@@ -128,9 +134,13 @@ class CheckpointController(RunController):
         start_round: int = 0,
         state: dict | None = None,
         max_legs: int | None = None,
+        keep: int | None = None,
+        on_checkpoint: "callable | None" = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be >= 1")
         self._sim = sim
         self._store = store
         self._telemetry = telemetry
@@ -140,6 +150,8 @@ class CheckpointController(RunController):
         self.start_round = int(start_round)
         self._state = state
         self._max_legs = max_legs
+        self._keep = keep
+        self._on_checkpoint = on_checkpoint
         self._legs = 0
 
     def initial_state(self) -> dict | None:
@@ -177,6 +189,14 @@ class CheckpointController(RunController):
             bytes=manifest["bytes"],
             sha256=manifest["sha256"],
         )
+        if self._keep is not None:
+            removed = self._store.prune(self._keep, stride=self._stride)
+            if removed:
+                self._telemetry.emit(
+                    "checkpoints-pruned", round=next_round, removed=removed
+                )
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(manifest, blob)
         self._legs += 1
         if self._max_legs is not None and self._legs >= self._max_legs:
             raise LegLimitReached
@@ -210,17 +230,23 @@ class Run:
         directory: str | Path,
         checkpoint_every: int = 1,
         telemetry: str | Path | None = None,
+        keep: int | None = None,
     ) -> "Run":
         """Initialize a run directory around a freshly built simulation.
 
         ``sim`` must not have been run: its pickled copy (``spec.pkl``)
         is the round-0 starting point every fresh ``execute()`` uses.
         ``telemetry`` overrides the event-log location (relative paths
-        resolve against the run directory).  Refuses a directory that
-        already holds a run.
+        resolve against the run directory).  ``keep`` enables checkpoint
+        garbage collection: after every snapshot commit the store
+        retains only the newest ``keep`` checkpoints plus the
+        power-of-two ordinal anchors (``None`` keeps everything).
+        Refuses a directory that already holds a run.
         """
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if keep is not None and int(keep) < 1:
+            raise ValueError("keep must be >= 1")
         run = cls(directory)
         if run.manifest_path.exists():
             raise FileExistsError(
@@ -236,6 +262,8 @@ class Run:
             "block_rounds": BLOCK_ROUNDS,
             "telemetry": str(telemetry) if telemetry else "telemetry.jsonl",
         }
+        if keep is not None:
+            manifest["keep"] = int(keep)
         run.spec_path.write_bytes(
             pickle.dumps(sim, protocol=pickle.HIGHEST_PROTOCOL)
         )
@@ -275,7 +303,9 @@ class Run:
     # -- execution --------------------------------------------------------
 
     def execute(
-        self, max_legs: int | None = None
+        self,
+        max_legs: int | None = None,
+        on_checkpoint: "callable | None" = None,
     ) -> "SimulationResult | SizedSimulationResult | None":
         """Run to completion (or ``max_legs`` checkpoints), resumably.
 
@@ -283,7 +313,9 @@ class Run:
         otherwise starts fresh from ``spec.pkl``.  Returns the final
         result -- loaded from ``result.json`` if the run already
         finished (idempotent) -- or ``None`` when paused by
-        ``max_legs``.
+        ``max_legs``.  ``on_checkpoint(manifest, blob)`` fires after
+        every committed snapshot (the federation worker ships each blob
+        to its coordinator through this hook).
         """
         finished = self.result()
         if finished is not None:
@@ -313,6 +345,7 @@ class Run:
                 backend=manifest["backend"],
                 policy=manifest["policy"],
             )
+            keep = manifest.get("keep")
             controller = CheckpointController(
                 sim,
                 self.store,
@@ -321,6 +354,8 @@ class Run:
                 start_round=start_round,
                 state=state,
                 max_legs=max_legs,
+                keep=int(keep) if keep is not None else None,
+                on_checkpoint=on_checkpoint,
             )
             try:
                 result = sim.run(controller=controller)

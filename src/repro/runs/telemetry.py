@@ -83,29 +83,46 @@ def follow_events(
 
     Replays everything already in the file, then polls for appended
     lines every ``poll_interval`` seconds.  ``stop`` (when given) is
-    checked between polls; the generator ends when it returns true.
+    checked between polls; once it returns true the file is drained one
+    final time and the generator ends, so a reader that flips its stop
+    flag *after* the writer's last event still sees every event.  Safe
+    for any number of concurrent readers (each call keeps its own file
+    position and never locks the writer): the HTTP metrics streamer and
+    ``repro tail --follow`` run this exact loop against live files.
     """
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be > 0")
     path = Path(path)
     position = 0
     buffer = ""
+
+    def drain() -> Iterator[dict]:
+        nonlocal position, buffer
+        if not path.exists():
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            handle.seek(position)
+            chunk = handle.read()
+            position = handle.tell()
+        buffer += chunk
+        while "\n" in buffer:
+            line, buffer = buffer.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
     while True:
-        if path.exists():
-            with open(path, "r", encoding="utf-8") as handle:
-                handle.seek(position)
-                chunk = handle.read()
-                position = handle.tell()
-            buffer += chunk
-            while "\n" in buffer:
-                line, buffer = buffer.split("\n", 1)
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if isinstance(record, dict):
-                    yield record
+        yield from drain()
         if stop is not None and stop():
+            # The stop condition (job finished, result written) may have
+            # flipped after the read above but events emitted just before
+            # it are already on disk: drain once more so none are lost.
+            yield from drain()
             return
         time.sleep(poll_interval)

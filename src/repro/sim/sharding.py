@@ -46,9 +46,16 @@ global block stream by the coordinator, unchanged from the fast kernel.
 Response-event probes must be partitionable (the events exist only
 inside the shards).
 
+Additional transport strategies register through
+:func:`register_shard_strategy`; ``socket`` (one worker per shard
+behind a length-prefixed TCP channel, from
+:mod:`repro.service.shardsocket`) loads lazily so ``repro.sim`` never
+imports the service layer.
+
 Both kernels register as ``"sharded"`` in their engine's registry and
 parameterize through the name itself: ``sharded`` (2 shards, serial),
-``sharded:4``, ``sharded:4:process``.  A trailing ``:compiled`` token
+``sharded:4``, ``sharded:4:process``, ``sharded:4:socket``.  A
+trailing ``:compiled`` token
 (``sharded:4:compiled``, ``sharded:4:process:compiled``) swaps each
 worker's departure resolver for the jitted two-pointer store from
 :mod:`repro.sim.compiled` (numpy fallback per worker when numba is
@@ -101,6 +108,8 @@ __all__ = [
     "MultiprocessShardStrategy",
     "ShardedBackend",
     "SizedShardedBackend",
+    "register_shard_strategy",
+    "resolve_shard_strategy",
     "split_probe_specs",
 ]
 
@@ -529,6 +538,18 @@ class MultiprocessShardStrategy(ShardStrategy):
             child_conn.close()
             self._conns.append(parent_conn)
             self._processes.append(process)
+        self._start_pipeline(states)
+
+    def _start_pipeline(self, states: Sequence[dict] | None) -> None:
+        """Restore workers, then stand up the per-shard feeder pipeline.
+
+        Factored out of :meth:`start` so transport subclasses (the
+        socket strategy in :mod:`repro.service.shardsocket`) can
+        populate ``self._conns``/``self._processes`` their own way and
+        inherit the async pipeline, snapshot protocol, and teardown
+        unchanged -- the only transport contract is the
+        ``send``/``recv``/``poll``/``close`` connection surface.
+        """
         if states is not None:
             for shard, state in enumerate(states):
                 try:
@@ -653,6 +674,35 @@ _STRATEGIES = {
     MultiprocessShardStrategy.name: MultiprocessShardStrategy,
 }
 
+#: Strategies that live outside this module and register on import.
+#: Keeping them lazy preserves the dependency direction (``repro.sim``
+#: never hard-imports ``repro.service``) while still letting
+#: ``sharded:N:socket`` resolve through the ordinary registry grammar.
+_LAZY_STRATEGY_MODULES = {
+    "socket": "repro.service.shardsocket",
+}
+
+
+def register_shard_strategy(cls: type[ShardStrategy]) -> type[ShardStrategy]:
+    """Register a :class:`ShardStrategy` under ``cls.name`` (decorator-safe)."""
+    _STRATEGIES[cls.name] = cls
+    return cls
+
+
+def resolve_shard_strategy(name: str) -> type[ShardStrategy]:
+    """Strategy class for a registry-grammar token, loading lazy entries."""
+    if name not in _STRATEGIES and name in _LAZY_STRATEGY_MODULES:
+        import importlib
+
+        importlib.import_module(_LAZY_STRATEGY_MODULES[name])
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(set(_STRATEGIES) | set(_LAZY_STRATEGY_MODULES)))
+        raise ValueError(
+            f"unknown shard strategy {name!r}; known strategies: {known}"
+        ) from None
+
 
 def _fold_shards(shard_maps: list[dict[str, Probe]]) -> dict[str, Probe]:
     """Fold shard probe maps left to right via ``merge_partition``."""
@@ -680,11 +730,7 @@ class _ShardedParams:
         shards = int(shards)
         if shards < 1:
             raise ValueError("shard count must be >= 1")
-        if strategy not in _STRATEGIES:
-            known = ", ".join(sorted(_STRATEGIES))
-            raise ValueError(
-                f"unknown shard strategy {strategy!r}; known strategies: {known}"
-            )
+        resolve_shard_strategy(strategy)  # fail fast with the known list
         if resolver not in ("numpy", "compiled"):
             raise ValueError(
                 f"unknown shard resolver {resolver!r}; "
@@ -697,7 +743,7 @@ class _ShardedParams:
     @classmethod
     def from_param(cls, param: str):
         """Registry-name parameters: ``"4"``, ``"4:process"``,
-        ``"4:compiled"``, ``"4:process:compiled"``.
+        ``"4:socket"``, ``"4:compiled"``, ``"4:process:compiled"``.
 
         A trailing ``compiled`` token selects the compiled departure
         resolver (and, unsized, the compiled coordinator round loop);
@@ -710,7 +756,7 @@ class _ShardedParams:
         except ValueError:
             raise ValueError(
                 f"invalid shard count {parts[0]!r}; parameterize as "
-                f"'sharded:N' or 'sharded:N:serial|process'"
+                f"'sharded:N' or 'sharded:N:serial|process|socket'"
             ) from None
         rest = [token for token in parts[1:] if token]
         resolver = "numpy"
@@ -720,7 +766,7 @@ class _ShardedParams:
         if len(rest) > 1:
             raise ValueError(
                 f"too many shard parameters in {param!r}; parameterize as "
-                f"'sharded:N[:serial|process][:compiled]'"
+                f"'sharded:N[:serial|process|socket][:compiled]'"
             )
         strategy = rest[0] if rest else "serial"
         return cls(shards=shards, strategy=strategy, resolver=resolver)
@@ -800,7 +846,7 @@ class ShardedBackend(_ShardedParams, EngineBackend):
     description = (
         "server-partitioned fast kernel: per-shard batch stores and probe "
         "sets, folded via Probe.merge_partition; parameterize as "
-        "sharded:N[:serial|process] (bit-exact vs fast for deterministic "
+        "sharded:N[:serial|process|socket] (bit-exact vs fast for deterministic "
         "policies)"
     )
 
@@ -852,7 +898,7 @@ class ShardedBackend(_ShardedParams, EngineBackend):
                 server_departed=np.zeros(n, dtype=np.int64),
             )
             shard_states = None
-        strategy = _STRATEGIES[self.strategy]()
+        strategy = resolve_shard_strategy(self.strategy)()
 
         def consume(block) -> None:
             # The per-block exchange: each shard gets its slice of the
@@ -954,7 +1000,7 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
     description = (
         "server-partitioned sized fast kernel: per-shard unit stores and "
         "probe sets, folded via Probe.merge_partition; parameterize as "
-        "sharded:N[:serial|process] (bit-exact vs fast for deterministic "
+        "sharded:N[:serial|process|socket] (bit-exact vs fast for deterministic "
         "policies)"
     )
 
@@ -1006,7 +1052,7 @@ class SizedShardedBackend(_ShardedParams, SizedEngineBackend):
                 units_out=0,
             )
             shard_states = None
-        strategy = _STRATEGIES[self.strategy]()
+        strategy = resolve_shard_strategy(self.strategy)()
 
         def consume(block) -> None:
             # Cut the server-major job arrays at the shard bounds; each

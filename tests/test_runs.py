@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import pickle
+import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -30,7 +32,11 @@ from repro.runs import (
     ExperimentRun,
     Run,
     TelemetryWriter,
+    follow_events,
+    inspect_run,
     iter_events,
+    retained_rounds,
+    scan_runs,
 )
 from repro.sim.sized import GeometricSize
 from repro.workloads.scenarios import SystemSpec
@@ -302,6 +308,139 @@ def test_kill_at_any_block_then_resume_is_bit_identical(
     assert fingerprint(result) == baseline(backend, sized)
 
 
+class TestRetention:
+    GRID = [256 * i for i in range(1, 11)]  # ordinals 1..10
+
+    def test_keeps_newest_plus_power_of_two_anchors(self):
+        kept = retained_rounds(self.GRID, keep_last=3)
+        anchors = {256, 512, 1024, 2048}  # ordinals 1, 2, 4, 8
+        newest = {2048, 2304, 2560}
+        assert kept == sorted(anchors | newest)
+
+    def test_policy_is_idempotent(self):
+        once = retained_rounds(self.GRID, keep_last=2)
+        # stride inference re-derives from the surviving ordinal-1
+        # checkpoint, so pruning what was already pruned removes nothing
+        assert retained_rounds(once, keep_last=2) == once
+
+    def test_off_grid_rounds_are_kept(self):
+        kept = retained_rounds([256, 512, 700, 768], keep_last=1)
+        assert 700 in kept
+
+    def test_explicit_stride_overrides_inference(self):
+        kept = retained_rounds([512, 1024, 1536, 2048], keep_last=1, stride=512)
+        assert kept == [512, 1024, 2048]  # 1536 is ordinal 3: dropped
+
+    def test_keep_last_validated(self):
+        with pytest.raises(ValueError, match="keep_last"):
+            retained_rounds([256], keep_last=0)
+
+    def test_store_prune_deletes_manifest_and_payload(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for round_index in self.GRID:
+            store.write(round_index, pickle.dumps(round_index))
+        removed = store.prune(2)
+        expected = retained_rounds(self.GRID, 2)
+        assert store.rounds() == expected
+        assert removed == sorted(set(self.GRID) - set(expected))
+        for round_index in removed:
+            assert not (tmp_path / f"ckpt-{round_index:010d}.json").exists()
+            assert not (tmp_path / f"ckpt-{round_index:010d}.pkl").exists()
+        assert store.prune(2) == []  # second pass is a no-op
+        manifest, payload = store.load_latest()
+        assert manifest["round"] == 2560 and payload == 2560
+
+    def test_run_with_keep_prunes_live_and_resumes_bit_identically(self, tmp_path):
+        expected = fingerprint(build_sim("fast", False, rounds=2560).run())
+        run = Run.create(
+            build_sim("fast", False, rounds=2560), tmp_path / "r", keep=2
+        )
+        assert run.execute(max_legs=4) is None
+        result = Run.open(tmp_path / "r").execute()
+        assert fingerprint(result) == expected
+        events = [e["event"] for e in iter_events(run.telemetry_path)]
+        assert "checkpoints-pruned" in events
+        # interior checkpoints land at 256..2304; the retention policy
+        # holds at rest after incremental pruning
+        assert run.store.rounds() == retained_rounds(
+            [256 * i for i in range(1, 10)], 2
+        )
+
+
+class TestFollowEvents:
+    def test_stop_predicate_still_drains_final_events(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        writer.emit("first")
+        done = threading.Event()
+        events = follow_events(
+            tmp_path / "t.jsonl", poll_interval=0.01, stop=done.is_set
+        )
+        assert next(events)["event"] == "first"
+        # an event written just before the stop flag flips must not be
+        # lost -- the generator drains one final time before ending
+        writer.emit("last")
+        done.set()
+        assert [e["event"] for e in events] == ["last"]
+
+    def test_concurrent_readers_see_identical_streams(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        for index in range(5):
+            writer.emit("tick", index=index)
+        done = threading.Event()
+        done.set()
+        streams = [
+            list(
+                follow_events(
+                    tmp_path / "t.jsonl", poll_interval=0.01, stop=done.is_set
+                )
+            )
+            for _ in range(2)
+        ]
+        assert streams[0] == streams[1]
+        assert [e["index"] for e in streams[0]] == list(range(5))
+
+    def test_poll_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="poll_interval"):
+            next(follow_events(tmp_path / "t.jsonl", poll_interval=0))
+
+
+class TestInventory:
+    def test_simulation_run_row_tracks_lifecycle(self, tmp_path):
+        run = Run.create(build_sim("fast", False), tmp_path / "r")
+        row = inspect_run(tmp_path / "r")
+        assert (row["kind"], row["status"]) == ("simulation_run", "fresh")
+        run.execute(max_legs=1)
+        row = inspect_run(tmp_path / "r")
+        assert row["status"] == "in-flight"
+        assert row["rounds_done"] == BLOCK_ROUNDS
+        assert row["checkpoints"] == 1
+        Run.open(tmp_path / "r").execute()
+        row = inspect_run(tmp_path / "r")
+        assert row["status"] == "finished"
+        assert row["rounds_done"] == ROUNDS
+
+    def test_non_run_directory_is_none(self, tmp_path):
+        assert inspect_run(tmp_path) is None
+
+    def test_damaged_manifest_reported_not_crashed(self, tmp_path):
+        (tmp_path / "run.json").write_text("{not json")
+        row = inspect_run(tmp_path)
+        assert (row["kind"], row["status"]) == ("damaged", "damaged")
+
+    def test_scan_runs_inventories_children(self, tmp_path):
+        Run.create(build_sim("fast", False), tmp_path / "a").execute(max_legs=1)
+        Run.create(build_sim("fast", False), tmp_path / "b").execute()
+        (tmp_path / "not-a-run").mkdir()
+        rows = scan_runs(tmp_path)
+        assert [Path(r["directory"]).name for r in rows] == ["a", "b"]
+        assert [r["status"] for r in rows] == ["in-flight", "finished"]
+
+    def test_scan_runs_on_a_run_returns_itself(self, tmp_path):
+        Run.create(build_sim("fast", False), tmp_path / "r").execute()
+        rows = scan_runs(tmp_path / "r")
+        assert len(rows) == 1 and rows[0]["status"] == "finished"
+
+
 class TestExperimentRun:
     def build_experiment(self):
         return Experiment(
@@ -392,3 +531,40 @@ class TestCli:
         assert code == 0
         run = Run.open(tmp_path / "r")
         assert fingerprint(run.result()) == baseline("fast", False)
+
+    def test_tail_follow_ends_once_run_finished(self, capsys, tmp_path):
+        # against a finished run the stop predicate (result.json exists)
+        # is already true: follow drains everything and terminates
+        self.run_cli(capsys, *self.simulate_args(tmp_path / "r"))
+        code, out = self.run_cli(
+            capsys, "tail", str(tmp_path / "r"), "--follow"
+        )
+        assert code == 0 and "run-finished" in out
+
+    def test_run_keep_flag_applies_retention(self, capsys, tmp_path):
+        directory = tmp_path / "r"
+        code, _ = self.run_cli(
+            capsys,
+            "run", "--policy", "scd", "--rho", "0.85", "--backend", "fast",
+            "--servers", "6", "--dispatchers", "2", "--rounds", "2560",
+            "--warmup", "256", "--seed", "7", "--keep", "2",
+            "--checkpoint-dir", str(directory),
+        )
+        assert code == 0
+        rounds = Run.open(directory).store.rounds()
+        assert rounds == retained_rounds([256 * i for i in range(1, 10)], 2)
+
+    def test_runs_list_inventories_directory(self, capsys, tmp_path):
+        root = tmp_path / "runs"
+        self.run_cli(
+            capsys, *self.simulate_args(root / "a", "--max-legs", "1")
+        )
+        self.run_cli(capsys, *self.simulate_args(root / "b"))
+        code, out = self.run_cli(capsys, "runs", "list", str(root))
+        assert code == 0
+        assert "in-flight" in out and "finished" in out
+        code, raw = self.run_cli(capsys, "runs", "list", str(root), "--json")
+        rows = json.loads(raw)
+        assert [r["status"] for r in rows] == ["in-flight", "finished"]
+        with pytest.raises(SystemExit, match="no run directories"):
+            main(["runs", "list", str(tmp_path / "empty")])

@@ -1,0 +1,625 @@
+"""Tests for the coordination service (repro.service).
+
+The load-bearing property: an experiment executed by a federation of
+workers -- through every failure the protocol claims to survive
+(SIGKILL mid-cell, wedged workers that miss heartbeats, stale messages
+from presumed-dead lease holders) -- produces records bit-identical to
+a plain SerialExecutor run.  Around that sit the framed wire transport,
+the ``sharded:N:socket`` kernel strategy, job bookkeeping, and the HTTP
+job API with its streaming telemetry endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.analysis.persistence import (
+    experiment_from_descriptor,
+    load_experiment,
+)
+from repro.experiments.executor import SerialExecutor, simulate_cell
+from repro.experiments.grid import Experiment
+from repro.experiments.workload import BurstyArrivalFactory, WorkloadSpec
+from repro.runs import Run, iter_events
+from repro.service import (
+    ChannelClosed,
+    FederationCoordinator,
+    FederationWorker,
+    JobManager,
+    MessageChannel,
+    ServiceAPI,
+    run_worker,
+    validate_submittable,
+)
+from repro.service.client import (
+    ServiceError,
+    iter_job_events,
+    job_result,
+    job_status,
+    submit_job,
+)
+from repro.service.wire import connect_channel
+from repro.workloads.scenarios import SystemSpec
+
+SYSTEM = SystemSpec(num_servers=8, num_dispatchers=2)
+
+
+def small_experiment(rounds: int = 400, loads=(0.8, 0.95)) -> Experiment:
+    return Experiment(
+        policies=["jsq", "scd"],
+        systems=SYSTEM,
+        loads=list(loads),
+        rounds=rounds,
+    )
+
+
+def wait_until(predicate, timeout: float = 30.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+# ---------------------------------------------------------------------------
+# The wire transport.
+# ---------------------------------------------------------------------------
+
+
+def channel_pair() -> tuple[MessageChannel, MessageChannel]:
+    a, b = socket.socketpair()
+    return MessageChannel(a), MessageChannel(b)
+
+
+class TestMessageChannel:
+    def test_round_trips_arbitrary_objects(self):
+        left, right = channel_pair()
+        payloads = [
+            ("block", 3, list(range(100))),
+            {"nested": {"tuple": (1, 2.5, None)}},
+            b"\x00" * 100_000,  # larger than any single recv() chunk
+        ]
+        for payload in payloads:
+            left.send(payload)
+            assert right.recv() == payload
+        left.close()
+        right.close()
+
+    def test_closed_peer_raises_channel_closed_as_eoferror(self):
+        left, right = channel_pair()
+        left.close()
+        with pytest.raises(ChannelClosed):
+            right.recv()
+        assert issubclass(ChannelClosed, EOFError)  # pipe-clause compatible
+
+    def test_poll_reflects_message_availability(self):
+        left, right = channel_pair()
+        assert not right.poll(0.0)
+        left.send("ping")
+        wait_until(lambda: right.poll(0.0))
+        assert right.recv() == "ping"
+        left.close()
+        right.close()
+
+    def test_oversized_frame_rejected_not_allocated(self):
+        a, b = socket.socketpair()
+        right = MessageChannel(b)
+        a.sendall(struct.pack(">Q", 1 << 62))  # absurd length header
+        with pytest.raises(ChannelClosed, match="oversized"):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_concurrent_senders_never_interleave_frames(self):
+        left, right = channel_pair()
+        per_thread = 50
+        threads = [
+            threading.Thread(
+                target=lambda tag: [
+                    left.send((tag, i, b"x" * 4096)) for i in range(per_thread)
+                ],
+                args=(tag,),
+            )
+            for tag in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        received = [right.recv() for _ in range(4 * per_thread)]
+        for thread in threads:
+            thread.join()
+        by_tag = {tag: [] for tag in range(4)}
+        for tag, i, blob in received:
+            assert blob == b"x" * 4096  # a torn frame would garble this
+            by_tag[tag].append(i)
+        for sequence in by_tag.values():
+            assert sequence == sorted(sequence)  # per-sender FIFO
+        left.close()
+        right.close()
+
+
+# ---------------------------------------------------------------------------
+# The socket shard strategy.
+# ---------------------------------------------------------------------------
+
+
+class TestSocketShardStrategy:
+    def test_bit_identical_to_fast(self):
+        kwargs = dict(rounds=600, warmup=0)
+        fast = simulate_cell(
+            "jsq", SYSTEM, 0.9, WorkloadSpec.paper(), 123, backend="fast", **kwargs
+        )
+        over_sockets = simulate_cell(
+            "jsq",
+            SYSTEM,
+            0.9,
+            WorkloadSpec.paper(),
+            123,
+            backend="sharded:2:socket",
+            **kwargs,
+        )
+        assert fast.histogram.state_dict() == over_sockets.histogram.state_dict()
+        assert fast.queue_series.values.tolist() == over_sockets.queue_series.values.tolist()
+
+    def test_pause_resume_over_sockets_is_bit_identical(self, tmp_path):
+        from repro.experiments.executor import build_cell_simulation
+
+        def build():
+            return build_cell_simulation(
+                "scd",
+                SYSTEM,
+                0.85,
+                WorkloadSpec.paper(),
+                7,
+                800,
+                warmup=256,
+                backend="sharded:2:socket",
+            )
+
+        baseline = build().run()
+        run = Run.create(build(), tmp_path / "run")
+        assert run.execute(max_legs=1) is None  # paused at a checkpoint
+        resumed = run.execute()
+        assert resumed.histogram.state_dict() == baseline.histogram.state_dict()
+
+    def test_registry_grammar_accepts_socket(self):
+        from repro.sim.sharding import _ShardedParams
+
+        params = _ShardedParams.from_param("4:socket")
+        assert (params.shards, params.strategy) == (4, "socket")
+
+    def test_unknown_strategy_names_socket_in_error(self):
+        from repro.sim.sharding import resolve_shard_strategy
+
+        with pytest.raises(ValueError, match="socket"):
+            resolve_shard_strategy("quantum")
+
+
+# ---------------------------------------------------------------------------
+# Job bookkeeping.
+# ---------------------------------------------------------------------------
+
+
+class TestJobManager:
+    def test_cells_hand_out_in_grid_order(self, tmp_path):
+        manager = JobManager(tmp_path)
+        experiment = small_experiment()
+        job = manager.submit(experiment)
+        indices = []
+        while (pulled := manager.next_cell()) is not None:
+            pulled_job, cell, checkpoint_every, adoption = pulled
+            assert pulled_job == job
+            assert checkpoint_every == 1
+            assert adoption is None
+            indices.append(cell.index)
+        assert indices == list(range(experiment.size))
+        manager.close()
+
+    def test_requeued_cell_comes_back_first(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(small_experiment())
+        _, first, _, _ = manager.next_cell()
+        manager.requeue_cell(job, first.index)
+        _, again, _, _ = manager.next_cell()
+        assert again.index == first.index
+        manager.close()
+
+    def test_repeated_failures_fail_the_job(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(small_experiment())
+        for _ in range(3):
+            _, cell, _, _ = manager.next_cell()
+            manager.requeue_cell(job, cell.index, failed=True)
+            if manager.job_state(job) == "failed":
+                break
+        assert manager.job_state(job) == "failed"
+        assert manager.next_cell() is None  # failed jobs stop handing out work
+        manager.close()
+
+    def test_duplicate_record_rejected(self, tmp_path):
+        manager = JobManager(tmp_path)
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        job = manager.submit(experiment)
+        records = SerialExecutor().run(experiment)
+        assert manager.record_result(job, 0, records[0])
+        assert not manager.record_result(job, 0, records[0])
+        manager.close()
+
+    def test_result_assembles_in_grid_order_regardless_of_arrival(self, tmp_path):
+        manager = JobManager(tmp_path)
+        experiment = small_experiment(rounds=300)
+        job = manager.submit(experiment)
+        records = SerialExecutor().run(experiment)
+        for index in reversed(range(len(records))):  # deliver backwards
+            manager.record_result(job, index, records[index])
+        assert manager.job_state(job) == "finished"
+        stored = load_experiment(manager.result_path(job))
+        assert tuple(stored.records) == tuple(records)
+        manager.close()
+
+    def test_job_numbering_continues_from_disk(self, tmp_path):
+        manager = JobManager(tmp_path)
+        first = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        manager.close()
+        reborn = JobManager(tmp_path)
+        second = reborn.submit(small_experiment(rounds=300, loads=(0.8,)))
+        assert second != first
+        assert int(second.split("-")[1]) > int(first.split("-")[1])
+        reborn.close()
+
+    def test_lossy_workloads_rejected_at_submission(self, tmp_path):
+        bursty = Experiment(
+            policies=["jsq"],
+            systems=SYSTEM,
+            loads=[0.9],
+            rounds=300,
+            workloads=(
+                WorkloadSpec(name="bursty", arrivals=BurstyArrivalFactory()),
+            ),
+        )
+        rebuilt = experiment_from_descriptor(bursty.describe())
+        with pytest.raises(ValueError, match="round-trip"):
+            validate_submittable(rebuilt)
+        manager = JobManager(tmp_path)
+        with pytest.raises(ValueError, match="round-trip"):
+            manager.submit(rebuilt)
+        # the original object (factories intact) submits fine in-process
+        manager.submit(bursty)
+        manager.close()
+
+    def test_checkpoint_cache_keeps_only_retained_rounds(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        for round_index in (256, 512, 768):
+            blob = pickle.dumps({"round": round_index})
+            manager.store_checkpoint(
+                job, 0, {"round": round_index, "engine": "unsized"}, blob
+            )
+        _, _, _, adoption = manager.next_cell()
+        manifest, blob = adoption
+        assert manifest["round"] == 768  # adoption always gets the newest
+        manager.close()
+
+
+# ---------------------------------------------------------------------------
+# Federation end to end (in-process coordinator + worker threads).
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service(tmp_path):
+    manager = JobManager(tmp_path / "data")
+    coordinator = FederationCoordinator(
+        manager, heartbeat_interval=0.2, heartbeat_misses=3, retry_after=0.05
+    )
+    coordinator.start()
+    api = ServiceAPI(manager, coordinator)
+    api.start()
+    yield manager, coordinator, api
+    api.stop()
+    coordinator.stop()
+    manager.close()
+
+
+def start_worker_thread(coordinator, **kwargs) -> threading.Thread:
+    kwargs.setdefault("exit_when_idle", True)
+    kwargs.setdefault("poll_interval", 0.05)
+    thread = threading.Thread(
+        target=run_worker, args=(coordinator.address,), kwargs=kwargs
+    )
+    thread.start()
+    return thread
+
+
+class TestFederation:
+    def test_two_workers_match_serial_execution(self, service):
+        manager, coordinator, _api = service
+        experiment = small_experiment()
+        baseline = SerialExecutor().run(experiment)
+        job = manager.submit(experiment)
+        threads = [
+            start_worker_thread(coordinator, name=f"w{i}") for i in range(2)
+        ]
+        for thread in threads:
+            thread.join(timeout=120)
+        assert manager.job_state(job) == "finished"
+        stored = load_experiment(manager.result_path(job))
+        assert tuple(stored.records) == tuple(baseline)
+
+    def test_job_telemetry_event_contract(self, service):
+        manager, coordinator, _api = service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        job = manager.submit(experiment)
+        start_worker_thread(coordinator, name="solo").join(timeout=120)
+        kinds = [e["event"] for e in iter_events(manager.telemetry_path(job))]
+        assert kinds[0] == "job-submitted"
+        assert kinds[-1] == "job-finished"
+        assert kinds.count("cell-leased") == experiment.size
+        assert kinds.count("cell-finished") == experiment.size
+
+    def test_worker_exception_requeues_then_fails_job(self, service):
+        manager, coordinator, _api = service
+        # Emulate a poisoned cell by breaking the grid object after
+        # submission (Experiment validates backends at construction, so
+        # the unknown name can only be injected at this seam) -- the
+        # worker raises in build_cell_simulation, reports cell-failed,
+        # and after MAX_CELL_FAILURES attempts the job fails.
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        job = manager.submit(experiment)
+        poisoned = manager.job(job)
+        for index, cell in list(poisoned.cells.items()):
+            poisoned.cells[index] = cell.__class__(
+                **{**cell.__dict__, "backend": "no-such-backend"}
+            )
+        start_worker_thread(coordinator, name="crasher").join(timeout=120)
+        wait_until(lambda: manager.job_state(job) == "failed")
+        kinds = [e["event"] for e in iter_events(manager.telemetry_path(job))]
+        assert "cell-failed" in kinds
+        assert "job-failed" in kinds
+
+
+class TestFailover:
+    def test_sigkilled_worker_cell_is_adopted_bit_identically(self, tmp_path):
+        """The PR's headline guarantee, end to end: kill -9 a worker
+        mid-cell, watch the lease revoke and the cell resume elsewhere
+        from the dead worker's last uploaded checkpoint, and compare
+        the final records against SerialExecutor bit for bit."""
+        experiment = Experiment(
+            policies=["jsq"],
+            systems=SYSTEM,
+            loads=[0.9],
+            rounds=60_000,
+            backend="fast",
+        )
+        baseline = SerialExecutor().run(experiment)
+        manager = JobManager(tmp_path / "data")
+        coordinator = FederationCoordinator(
+            manager, heartbeat_interval=0.2, heartbeat_misses=3, retry_after=0.05
+        )
+        coordinator.start()
+        try:
+            job = manager.submit(experiment, checkpoint_every=8)
+            context = multiprocessing.get_context()
+            victim = context.Process(
+                target=run_worker,
+                args=(coordinator.address,),
+                kwargs={"name": "victim"},
+            )
+            victim.start()
+
+            def first_checkpoint_uploaded():
+                leases = coordinator.status()["leases"]
+                return bool(leases and leases[0]["checkpoint_round"])
+
+            wait_until(first_checkpoint_uploaded, timeout=60)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+
+            rescue = start_worker_thread(coordinator, name="rescue")
+            rescue.join(timeout=180)
+            assert manager.job_state(job) == "finished"
+
+            events = list(iter_events(manager.telemetry_path(job)))
+            reassigned = [e for e in events if e["event"] == "cell-reassigned"]
+            assert reassigned and reassigned[0]["checkpoint_round"] >= 2048
+            leases = [e for e in events if e["event"] == "cell-leased"]
+            # the re-lease adopted the dead worker's newest checkpoint
+            assert leases[-1]["adopted_round"] == reassigned[-1]["checkpoint_round"]
+
+            stored = load_experiment(manager.result_path(job))
+            assert tuple(stored.records) == tuple(baseline)
+        finally:
+            coordinator.stop()
+            manager.close()
+
+    def test_silent_worker_loses_lease_and_stale_messages_bounce(self, service):
+        """A wedged worker (socket open, no heartbeats) is declared
+        lost; its checkpoint uploads are dropped (torn lease) and its
+        late cell-done is acknowledged-but-rejected (duplicate lease)."""
+        manager, coordinator, _api = service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        baseline = SerialExecutor().run(experiment)
+        job = manager.submit(experiment)
+
+        zombie = connect_channel(coordinator.address)
+        zombie.send(("register", {"name": "zombie", "pid": 4242}))
+        kind, info = zombie.recv()
+        assert kind == "registered"
+        zombie.send(("request-cell",))
+        kind, lease = zombie.recv()
+        assert kind == "lease"
+        token = lease["token"]
+        # ... then silence: no heartbeats, no progress.
+        wait_until(lambda: not coordinator.status()["leases"], timeout=10)
+        kinds = [e["event"] for e in iter_events(manager.telemetry_path(job))]
+        assert "cell-reassigned" in kinds
+
+        # Torn lease: a checkpoint upload quoting the revoked token is
+        # dropped without touching the adoption cache.
+        stale = connect_channel(coordinator.address)
+        stale.send(("register", {"name": "late", "pid": 4243}))
+        stale.recv()
+        stale.send(
+            ("checkpoint", token, {"round": 256, "engine": "unsized"}, b"blob")
+        )
+        # Duplicate lease: the revoked holder's finished record bounces.
+        stale.send(("cell-done", token, baseline[lease["cell"].index]))
+        kind, ack = stale.recv()
+        assert (kind, ack["accepted"]) == ("ack", False)
+        events = list(iter_events(manager.telemetry_path(job)))
+        assert not [e for e in events if e["event"] == "checkpoint-received"]
+        assert manager.job_status(job)["cells_done"] == 0
+
+        # A healthy worker still completes the job bit-identically.
+        start_worker_thread(coordinator, name="healthy").join(timeout=120)
+        assert manager.job_state(job) == "finished"
+        stored = load_experiment(manager.result_path(job))
+        assert tuple(stored.records) == tuple(baseline)
+        zombie.close()
+        stale.close()
+
+
+# ---------------------------------------------------------------------------
+# The HTTP job API.
+# ---------------------------------------------------------------------------
+
+
+class TestServiceAPI:
+    def test_submit_poll_stream_result_round_trip(self, service):
+        manager, coordinator, api = service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        baseline = SerialExecutor().run(experiment)
+
+        created = submit_job(api.url, experiment.describe())
+        job = created["job"]
+        assert created["cells"] == experiment.size
+
+        worker = start_worker_thread(coordinator, name="http-w")
+        # follow=True streams live until the job leaves "running".
+        events = list(iter_job_events(api.url, job, follow=True))
+        worker.join(timeout=120)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "job-submitted"
+        assert kinds[-1] == "job-finished"
+        assert kinds.count("cell-finished") == experiment.size
+
+        status = job_status(api.url, job)
+        assert (status["state"], status["cells_done"]) == (
+            "finished",
+            experiment.size,
+        )
+        fetched = job_result(api.url, job)
+        assert tuple(fetched.records) == tuple(baseline)
+        # non-follow replay returns the same events and terminates
+        replay = list(iter_job_events(api.url, job))
+        assert [e["event"] for e in replay] == kinds
+
+    def test_bad_descriptor_is_a_400(self, service):
+        _manager, _coordinator, api = service
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(api.url, {"policies": []})
+        assert excinfo.value.code == 400
+
+    def test_lossy_descriptor_is_a_400(self, service):
+        _manager, _coordinator, api = service
+        bursty = Experiment(
+            policies=["jsq"],
+            systems=SYSTEM,
+            loads=[0.9],
+            rounds=300,
+            workloads=(
+                WorkloadSpec(name="bursty", arrivals=BurstyArrivalFactory()),
+            ),
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(api.url, bursty.describe())
+        assert excinfo.value.code == 400
+        assert "round-trip" in str(excinfo.value)
+
+    def test_unknown_job_is_a_404(self, service):
+        _manager, _coordinator, api = service
+        with pytest.raises(ServiceError) as excinfo:
+            job_status(api.url, "job-9999")
+        assert excinfo.value.code == 404
+
+    def test_unfinished_result_is_a_404_with_state(self, service):
+        manager, _coordinator, api = service
+        job = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        with pytest.raises(ServiceError) as excinfo:
+            job_result(api.url, job)
+        assert excinfo.value.code == 404
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs against an in-process service.
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCLI:
+    def test_submit_status_and_worker_verbs(self, service, capsys, tmp_path):
+        from repro.cli import main
+
+        manager, coordinator, api = service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        baseline = SerialExecutor().run(experiment)
+        host, port = coordinator.address
+
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url",
+                    api.url,
+                    "--policies",
+                    "jsq",
+                    "scd",
+                    "--systems",
+                    "8x2",
+                    "--loads",
+                    "0.8",
+                    "--rounds",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "submitted job-0001" in out
+
+        worker = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "worker",
+                    "--connect",
+                    f"{host}:{port}",
+                    "--exit-when-idle",
+                    "--poll-interval",
+                    "0.05",
+                    "--workdir",
+                    str(tmp_path / "scratch"),
+                ],
+            ),
+        )
+        worker.start()
+        worker.join(timeout=120)
+        assert manager.job_state("job-0001") == "finished"
+        stored = load_experiment(manager.result_path("job-0001"))
+        assert tuple(stored.records) == tuple(baseline)
+
+        assert main(["status", "--url", api.url]) == 0
+        out = capsys.readouterr().out
+        assert "worker(s)" in out
+        assert main(["status", "--url", api.url, "job-0001", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["state"] == "finished"
