@@ -44,6 +44,12 @@ Two hardware-dependent cells gate conditionally:
   when the box has at least two CPUs**; on 1-CPU boxes the cell records
   its numbers and the gate auto-skips.
 
+A scenario cell (``--scenario-sizes``, default 100x50) times the fast
+kernel under the nonstationary built-ins -- a diurnal rate curve and a
+server-churn schedule -- against the identical stationary cell;
+``--check`` bars the worst scenario overhead at 10% (the block
+pre-sampler and capacity-mask adapter must not tax the hot path).
+
 A service cell (``--service-sizes``, default 50x20) stands up the whole
 coordination service in-process (job manager, coordinator, HTTP API,
 one worker) and times HTTP submit to the first ``cell-finished`` event
@@ -88,6 +94,7 @@ DEFAULT_SHARDED_SIZES = ("200x100",)
 DEFAULT_COMPILED_SIZES = ("200x100",)
 DEFAULT_PROCESS_SIZES = ("200x100",)
 DEFAULT_CHECKPOINT_SIZES = ("100x50",)
+DEFAULT_SCENARIO_SIZES = ("100x50",)
 DEFAULT_SERVICE_SIZES = ("50x20",)
 #: Checkpoint cadence for the run-lifecycle overhead cell (blocks).
 CHECKPOINT_EVERY = 4
@@ -111,6 +118,18 @@ SHARD_OVERHEAD_TARGET = 0.25
 #: :data:`CHECKPOINT_EVERY` blocks, telemetry streaming) may cost at
 #: most this fraction over the plain fast-kernel run it wraps.
 CHECKPOINT_OVERHEAD_TARGET = 0.10
+#: Acceptance bar: a nonstationary scenario on the fast kernel (diurnal
+#: rate modulation or a churn capacity mask) may cost at most this
+#: fraction over the identical stationary cell.
+SCENARIO_OVERHEAD_TARGET = 0.10
+#: The scenario legs the overhead cell times, against a ``None``
+#: (stationary) baseline.  jsq deliberately: churn masking disables
+#: rr's cross-round dispatch batching, which is a *policy* cost, not
+#: the scenario machinery this cell gates.
+SCENARIO_BENCH = (
+    ("diurnal", "diurnal:period=512"),
+    ("churn", "churn:down=0.4,period=2"),
+)
 #: Acceptance bar: submit-to-first-streamed-metric latency through the
 #: whole service stack (HTTP submit -> coordinator lease -> worker cell
 #: -> telemetry streamed back over the events endpoint), *excluding*
@@ -155,6 +174,7 @@ def _build_sim(
     seed: int,
     backend: str,
     probes: tuple = (),
+    scenario: str | None = None,
 ) -> repro.Simulation:
     system = repro.SystemSpec(num_servers=n, num_dispatchers=m)
     rates = system.rates()
@@ -164,7 +184,8 @@ def _build_sim(
         arrivals=repro.PoissonArrivals(system.lambdas(rho)),
         service=repro.GeometricService(rates),
         config=repro.SimulationConfig(
-            rounds=rounds, seed=seed, backend=backend, probes=probes
+            rounds=rounds, seed=seed, backend=backend, probes=probes,
+            scenario=scenario,
         ),
     )
 
@@ -432,6 +453,52 @@ def time_probe_overhead(
     return cell
 
 
+def time_scenario_overhead(
+    policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
+) -> dict:
+    """Scenario tax: nonstationary fast-kernel cells vs the stationary one.
+
+    Runs the identical fast-backend cell three times -- stationary, under
+    a diurnal rate curve, and under a server-churn schedule (the legs in
+    :data:`SCENARIO_BENCH`) -- and reports each leg's overhead over the
+    stationary baseline.  The scenario machinery is a block pre-sampler
+    wrapper plus (for churn) a capacity-mask policy adapter, so its cost
+    must stay a small fraction of the round loop; ``--check`` bars the
+    worst leg at :data:`SCENARIO_OVERHEAD_TARGET`.
+    """
+    cell: dict = {
+        "engine": "scenario_overhead",
+        "policy": policy,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "seed": seed,
+        "scenarios": {label: spec for label, spec in SCENARIO_BENCH},
+    }
+    for label, scenario in (("stationary", None),) + SCENARIO_BENCH:
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(
+                policy, n, m, rho, rounds, seed, "fast", scenario=scenario
+            )
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        cell[f"{label}_seconds"] = best
+        cell[f"{label}_rounds_per_sec"] = rounds / best
+        cell[f"{label}_mean_response"] = result.mean_response_time
+    for label, _ in SCENARIO_BENCH:
+        cell[f"{label}_overhead_fraction"] = (
+            cell[f"{label}_seconds"] / cell["stationary_seconds"] - 1.0
+        )
+    cell["scenario_overhead_fraction"] = max(
+        cell[f"{label}_overhead_fraction"] for label, _ in SCENARIO_BENCH
+    )
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
 def time_checkpoint_overhead(
     policy: str, n: int, m: int, rho: float, rounds: int, seed: int, repeats: int
 ) -> dict:
@@ -597,6 +664,7 @@ def run_grid(
     checkpoint_sizes: tuple[str, ...] = (),
     compiled_sizes: tuple[str, ...] = (),
     process_sizes: tuple[str, ...] = (),
+    scenario_sizes: tuple[str, ...] = (),
     service_sizes: tuple[str, ...] = (),
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
@@ -671,6 +739,21 @@ def run_grid(
             f"all={cell['all_probes_rounds_per_sec']:9.0f} r/s  "
             f"overhead={100 * cell['overhead_fraction']:+.1f}%"
         )
+    scenario_overheads = []
+    for token in scenario_sizes:
+        n, m = _parse_size(token)
+        cell = time_scenario_overhead("jsq", n, m, rho, rounds, seed, repeats)
+        cells.append(cell)
+        scenario_overheads.append(cell["scenario_overhead_fraction"])
+        legs = "  ".join(
+            f"{label}={cell[f'{label}_rounds_per_sec']:9.0f} r/s "
+            f"({100 * cell[f'{label}_overhead_fraction']:+.1f}%)"
+            for label, _ in SCENARIO_BENCH
+        )
+        print(
+            f"scen    n={n:4d} m={m:3d} jsq    "
+            f"stationary={cell['stationary_rounds_per_sec']:9.0f} r/s  {legs}"
+        )
     checkpoint_overheads = []
     for token in checkpoint_sizes:
         n, m = _parse_size(token)
@@ -715,6 +798,8 @@ def run_grid(
             "process_sizes": list(process_sizes),
             "checkpoint_sizes": list(checkpoint_sizes),
             "checkpoint_every": CHECKPOINT_EVERY,
+            "scenario_sizes": list(scenario_sizes),
+            "scenarios": {label: spec for label, spec in SCENARIO_BENCH},
             "service_sizes": list(service_sizes),
             "mean_size": mean_size,
             "rho": rho,
@@ -740,6 +825,10 @@ def run_grid(
             "checkpoint_overhead_target": CHECKPOINT_OVERHEAD_TARGET,
             "checkpoint_overhead_fraction": (
                 max(checkpoint_overheads) if checkpoint_overheads else None
+            ),
+            "scenario_overhead_target": SCENARIO_OVERHEAD_TARGET,
+            "scenario_overhead_fraction": (
+                max(scenario_overheads) if scenario_overheads else None
             ),
             "service_first_metric_target": SERVICE_FIRST_METRIC_TARGET,
             "service_overhead_seconds": (
@@ -836,6 +925,15 @@ def main(argv: list[str] | None = None) -> int:
         "kernel; empty list skips it)",
     )
     parser.add_argument(
+        "--scenario-sizes",
+        nargs="*",
+        default=list(DEFAULT_SCENARIO_SIZES),
+        metavar="NxM",
+        help="grid points for the scenario-overhead cell (diurnal and "
+        "churn legs on the fast kernel vs the identical stationary "
+        "cell; empty list skips it)",
+    )
+    parser.add_argument(
         "--service-sizes",
         nargs="*",
         default=list(DEFAULT_SERVICE_SIZES),
@@ -857,8 +955,10 @@ def main(argv: list[str] | None = None) -> int:
         f"reach {TARGET_SPEEDUP}x (unsized) and {SIZED_TARGET_SPEEDUP}x "
         f"(sized), the all-probes overhead stays under "
         f"{PROBE_OVERHEAD_TARGET:.0%}, the serial shard overhead "
-        f"stays under {SHARD_OVERHEAD_TARGET:.0%}, and the checkpointed-run "
-        f"overhead stays under {CHECKPOINT_OVERHEAD_TARGET:.0%}; also bars "
+        f"stays under {SHARD_OVERHEAD_TARGET:.0%}, the checkpointed-run "
+        f"overhead stays under {CHECKPOINT_OVERHEAD_TARGET:.0%}, and the "
+        f"nonstationary-scenario overhead stays under "
+        f"{SCENARIO_OVERHEAD_TARGET:.0%}; also bars "
         f"the compiled kernel at {COMPILED_TARGET_SPEEDUP:.0f}x over "
         f"reference at {COMPILED_TARGET_SIZE} when numba is importable, and "
         f"requires a sharded:N:process wall-clock speedup (>1x) on "
@@ -884,6 +984,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_sizes=tuple(args.checkpoint_sizes),
         compiled_sizes=tuple(args.compiled_sizes),
         process_sizes=tuple(args.process_sizes),
+        scenario_sizes=tuple(args.scenario_sizes),
         service_sizes=tuple(args.service_sizes),
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
@@ -919,6 +1020,11 @@ def main(argv: list[str] | None = None) -> int:
             "checkpoint",
             record["headline"]["checkpoint_overhead_fraction"],
             CHECKPOINT_OVERHEAD_TARGET,
+        ),
+        (
+            "scenario",
+            record["headline"]["scenario_overhead_fraction"],
+            SCENARIO_OVERHEAD_TARGET,
         ),
     ):
         if overhead is None:
@@ -1021,6 +1127,7 @@ def test_backend_speedup_record(tmp_path):
         probe_sizes=("10x4",), sharded_sizes=("10x4",),
         checkpoint_sizes=("10x4",),
         compiled_sizes=("10x4",), process_sizes=("10x4",),
+        scenario_sizes=("10x4",),
         service_sizes=("10x4",),
     )
     out = tmp_path / "BENCH_engine.json"
@@ -1028,7 +1135,8 @@ def test_backend_speedup_record(tmp_path):
     loaded = json.loads(out.read_text())
     assert loaded["benchmark"] == "backend_speedup"
     (
-        unsized, sized, compiled, sharded, process, probes, checkpoint, service,
+        unsized, sized, compiled, sharded, process, probes, scenario,
+        checkpoint, service,
     ) = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
@@ -1057,6 +1165,20 @@ def test_backend_speedup_record(tmp_path):
     assert probes["probes"] == list(ALL_EXTRA_PROBES)
     assert probes["default_rounds_per_sec"] > 0
     assert probes["all_probes_rounds_per_sec"] > 0
+    assert scenario["engine"] == "scenario_overhead"
+    assert scenario["scenarios"] == {
+        label: spec for label, spec in SCENARIO_BENCH
+    }
+    assert scenario["stationary_rounds_per_sec"] > 0
+    for label, _ in SCENARIO_BENCH:
+        assert scenario[f"{label}_rounds_per_sec"] > 0
+        # Every leg replays the same 600 rounds, so the means are finite
+        # and the overhead fraction is well-defined.
+        assert scenario[f"{label}_mean_response"] > 0
+        assert scenario[f"{label}_overhead_fraction"] > -1.0
+    assert scenario["scenario_overhead_fraction"] == max(
+        scenario[f"{label}_overhead_fraction"] for label, _ in SCENARIO_BENCH
+    )
     assert checkpoint["engine"] == "checkpoint_overhead"
     assert checkpoint["checkpoint_every"] == CHECKPOINT_EVERY
     assert checkpoint["checkpoints"] >= 0
@@ -1074,6 +1196,10 @@ def test_backend_speedup_record(tmp_path):
     assert loaded["headline"]["probe_overhead_fraction"] is not None
     assert loaded["headline"]["shard_overhead_fraction"] is not None
     assert loaded["headline"]["checkpoint_overhead_fraction"] is not None
+    assert loaded["headline"]["scenario_overhead_fraction"] is not None
+    assert (
+        loaded["headline"]["scenario_overhead_target"] == SCENARIO_OVERHEAD_TARGET
+    )
     assert isinstance(loaded["headline"]["numba_available"], bool)
     assert loaded["headline"]["process_best_speedup"] > 0
     assert loaded["headline"]["cpu_count"] == os.cpu_count()

@@ -73,6 +73,9 @@ def result_to_dict(result: SimulationResult) -> dict:
         config_payload["probes"] = [
             {"name": s.name, "kwargs": dict(s.kwargs)} for s in result.config.probes
         ]
+    if result.config.scenario is not None:
+        # Emitted only when set, so scenario-free files stay byte-identical.
+        config_payload["scenario"] = result.config.scenario
     payload = {
         "format_version": _FORMAT_VERSION,
         "policy_name": result.policy_name,
@@ -262,7 +265,8 @@ def load_sweep(path: str | Path) -> SweepResult:
 def _workload_from_descriptor(payload: dict) -> WorkloadSpec:
     """Best-effort workload reconstruction from its JSON descriptor.
 
-    Name, skew, and explicit dispatcher weights round-trip exactly.
+    Name, skew, scenario, and explicit dispatcher weights round-trip
+    exactly.
     Custom arrival/service factories and job-size distributions are
     arbitrary Python objects that only serialize as a repr; a workload
     that had any gets an :class:`UnreconstructedFactory` placeholder, so
@@ -277,6 +281,7 @@ def _workload_from_descriptor(payload: dict) -> WorkloadSpec:
         skew=payload.get("skew"),
         dispatcher_weights=tuple(weights) if weights is not None else None,
         arrivals=UnreconstructedFactory(payload["name"]) if lossy else None,
+        scenario=payload.get("scenario"),
     )
 
 

@@ -9,10 +9,13 @@ Subcommands
                 both the unsized and the sized-engine registries
 ``probes``      list the registered observability probes (``--metrics``
                 accepts them on ``experiment`` and ``simulate``)
+``scenarios``   list the registered workload scenarios (``--scenario``
+                accepts them on ``experiment``, ``run`` and ``submit``)
 ``experiment``  declarative grid: policies x systems x loads x reps x
                 workload, optionally on a process pool (``--workers``),
-                the vectorized engine (``--backend fast``) and extra
-                probes (``--metrics herding server_stats``)
+                the vectorized engine (``--backend fast``), extra
+                probes (``--metrics herding server_stats``) and a
+                nonstationary scenario (``--scenario flash:spike=5``)
 ``simulate``    one (policy, system, load) run; optional JSON output
 ``sweep``       mean response times over a load grid, several policies
 ``tails``       tail quantiles at one load, several policies
@@ -25,10 +28,13 @@ Subcommands
 ``tail``        print or follow (``-f``) a run's telemetry events
 ``runs``        ``runs list DIR``: inventory the run directories on disk
 ``serve``       start the coordination service: HTTP job API + worker
-                coordinator (federated experiment execution)
+                coordinator (federated experiment execution); ``--token``
+                requires workers to quote a shared secret
 ``worker``      register with a coordinator and serve grid cells
 ``submit``      POST an experiment to a running service's job API
+                (``--priority`` jumps the cell queue)
 ``status``      show a service's workers, leases and job progress
+``cancel``      stop a running job; its queued cells are dropped
 
 Examples
 --------
@@ -42,6 +48,8 @@ Examples
     repro experiment --policies jsq sed --backend sharded:4 --rounds 100000
     repro experiment --policies scd jsq --metrics herding server_stats \
         windowed_mean:window=500
+    repro experiment --policies jsq sed --backend fast \
+        --scenario flash:spike=5,at=2048 --metrics windowed_stability
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
@@ -51,15 +59,18 @@ Examples
     repro resume runs/scd-09
     repro tail runs/scd-09 --follow
     repro runs list runs/
-    repro serve --data-dir service/ --port 8642
-    repro worker --data-dir service/ --exit-when-idle
-    repro submit --data-dir service/ --policies scd jsq --loads 0.9 --follow
+    repro serve --data-dir service/ --port 8642 --token s3cret
+    repro worker --data-dir service/ --exit-when-idle --token s3cret
+    repro submit --data-dir service/ --policies scd jsq --loads 0.9 \
+        --priority 5 --follow
     repro status --data-dir service/
+    repro cancel job-0001 --data-dir service/
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -264,6 +275,29 @@ def _parse_workload(token: str) -> WorkloadSpec:
     )
 
 
+def _workload_from(args: argparse.Namespace) -> WorkloadSpec:
+    """The --workload spec with any --scenario applied (validated now)."""
+    workload = _parse_workload(args.workload)
+    scenario = getattr(args, "scenario", None)
+    if scenario:
+        try:
+            workload = dataclasses.replace(workload, scenario=scenario)
+        except ValueError as error:
+            raise SystemExit(f"invalid scenario {scenario!r}: {error}")
+    return workload
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import scenario_descriptions
+
+    descriptions = scenario_descriptions()
+    width = max(len(name) for name in descriptions)
+    print("workload scenarios (pass one via --scenario NAME[:key=value,...]):")
+    for name, description in descriptions.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     systems = tuple(
         _parse_system_token(token, args.profile, args.rate_seed)
@@ -275,7 +309,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             systems=systems,
             loads=tuple(args.loads),
             replications=args.replications,
-            workloads=(_parse_workload(args.workload),),
+            workloads=(_workload_from(args),),
             rounds=args.rounds,
             warmup=args.warmup,
             base_seed=args.seed,
@@ -285,11 +319,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"invalid experiment: {error}")
     workload = experiment.workloads[0]
+    scenario_note = (
+        f", scenario: {workload.scenario}" if workload.scenario else ""
+    )
     print(
         f"Running {experiment.size} cells "
         f"({len(experiment.policies)} policies x {len(systems)} systems x "
         f"{len(experiment.loads)} loads x {experiment.replications} reps, "
-        f"workload: {workload.name}, rounds/cell: {experiment.rounds}, "
+        f"workload: {workload.name}{scenario_note}, "
+        f"rounds/cell: {experiment.rounds}, "
         f"workers: {args.workers}, backend: {experiment.backend})"
     )
     result = experiment.run(workers=args.workers, keep_results=bool(args.save))
@@ -489,7 +527,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.policy,
         _system_from(args),
         args.rho,
-        _parse_workload(args.workload),
+        _workload_from(args),
         args.seed,
         args.rounds,
         args.warmup,
@@ -692,6 +730,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.coordinator_port,
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_misses=args.heartbeat_misses,
+        token=args.token,
     )
     coordinator.start()
     api = ServiceAPI(manager, coordinator, host=args.host, port=args.port)
@@ -739,7 +778,10 @@ def cmd_worker(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             exit_when_idle=args.exit_when_idle,
             poll_interval=args.poll_interval,
+            token=args.token,
         )
+    except RuntimeError as error:
+        raise SystemExit(str(error))
     except (ConnectionError, OSError) as error:
         raise SystemExit(f"cannot reach the coordinator: {error}")
     print(f"worker exiting after {done} cell(s)")
@@ -763,7 +805,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 systems=systems,
                 loads=tuple(args.loads),
                 replications=args.replications,
-                workloads=(_parse_workload(args.workload),),
+                workloads=(_workload_from(args),),
                 rounds=args.rounds,
                 warmup=args.warmup,
                 base_seed=args.seed,
@@ -775,11 +817,19 @@ def cmd_submit(args: argparse.Namespace) -> int:
         descriptor = experiment.describe()
     url = _service_url(args)
     try:
-        status = submit_job(url, descriptor, checkpoint_every=args.checkpoint_every)
+        status = submit_job(
+            url,
+            descriptor,
+            checkpoint_every=args.checkpoint_every,
+            priority=args.priority,
+        )
     except ServiceError as error:
         raise SystemExit(f"submission rejected: {error}")
     job = status["job"]
-    print(f"submitted {job}: {status['cells']} cell(s)")
+    priority_note = (
+        f" at priority {status['priority']}" if status.get("priority") else ""
+    )
+    print(f"submitted {job}: {status['cells']} cell(s){priority_note}")
     if not args.follow:
         print(f"watch with `repro status --url {url} {job}`")
         return 0
@@ -838,6 +888,21 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, cancel_job
+
+    url = _service_url(args)
+    try:
+        status = cancel_job(url, args.job)
+    except ServiceError as error:
+        raise SystemExit(str(error))
+    print(
+        f"{status['id']}: {status['state']} "
+        f"({status['cells_done']}/{status['cells']} cells done)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -860,6 +925,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_probes)
 
     p = sub.add_parser(
+        "scenarios", help="list registered workload scenarios (--scenario)"
+    )
+    p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser(
         "experiment",
         help="declarative grid: policies x systems x loads x replications",
     )
@@ -879,6 +949,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper (default), skew:FACTOR, bursty:SURGE[:SWITCH_PROB], or "
         "sized[:geom:MEAN|det:SIZE|bimodal:SMALL:LARGE[:PROB]] (jobs carry "
         "work-unit sizes and cells run the sized engine)",
+    )
+    p.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help="nonstationary workload scenario applied to every cell: "
+        "rate curves (diurnal, flash, regime) and/or server churn "
+        "(churn, elastic); see `repro scenarios`",
     )
     p.add_argument(
         "--workers",
@@ -977,6 +1054,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="paper (default), skew:F, bursty:F[:P] or "
         "sized[:geom:MEAN|det:SIZE|bimodal:SMALL:LARGE[:PROB]]",
+    )
+    p.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help="nonstationary workload scenario (see `repro scenarios`); "
+        "checkpoints carry the scenario state, so resume is bit-identical",
     )
     p.add_argument(
         "--backend",
@@ -1097,6 +1180,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="missed heartbeats before a worker is declared lost and its "
         "cells are reassigned",
     )
+    p.add_argument(
+        "--token",
+        metavar="SECRET",
+        help="shared-secret worker auth: registrations without this exact "
+        "token are rejected (never written to service.json)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1127,6 +1216,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit once the coordinator reports no work left anywhere",
     )
     p.add_argument("--poll-interval", type=float, default=0.5, metavar="SECONDS")
+    p.add_argument(
+        "--token",
+        metavar="SECRET",
+        help="auth token quoted at registration (required when the "
+        "coordinator was started with --token)",
+    )
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -1168,6 +1263,20 @@ def build_parser() -> argparse.ArgumentParser:
         "factories (bursty, sized) cannot travel as descriptors -- submit "
         "those in-process",
     )
+    p.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help="nonstationary workload scenario applied to every cell "
+        "(see `repro scenarios`); travels in the descriptor",
+    )
+    p.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="P",
+        help="scheduling priority: higher-priority jobs' cells are leased "
+        "first (default 0; ties run in submission order)",
+    )
     p.add_argument("--backend", default="reference", metavar="BACKEND")
     p.add_argument("--metrics", nargs="*", default=[], metavar="PROBE")
     p.add_argument(
@@ -1191,6 +1300,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="print raw JSON")
     p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("cancel", help="stop a running job on a service")
+    p.add_argument("job", help="the job id to cancel")
+    p.add_argument("--url", metavar="URL", help="job API base URL")
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="discover the API from DIR/service.json instead",
+    )
+    p.set_defaults(func=cmd_cancel)
 
     p = sub.add_parser("stability", help="empirical verdict + Appendix D bound")
     p.add_argument("--policy", default="scd")

@@ -79,6 +79,7 @@ def build_cell_simulation(
             backend=backend,
             warmup=warmup,
             probes=probes,
+            scenario=workload.scenario,
         )
     return Simulation(
         rates=rates,
@@ -86,7 +87,12 @@ def build_cell_simulation(
         arrivals=arrivals,
         service=service,
         config=SimulationConfig(
-            rounds=rounds, warmup=warmup, seed=seed, backend=backend, probes=probes
+            rounds=rounds,
+            warmup=warmup,
+            seed=seed,
+            backend=backend,
+            probes=probes,
+            scenario=workload.scenario,
         ),
     )
 

@@ -160,6 +160,12 @@ class WorkloadSpec:
         Optional job-size distribution.  When set, cells run the
         sized-job engine (:class:`repro.sim.sized.SizedSimulation`)
         with unit-denominated queues.
+    scenario:
+        Optional scenario spec string ``NAME[:k=v,...]`` (see
+        :mod:`repro.scenarios`): nonstationary arrival modulation
+        and/or server churn, applied by the engine at simulation
+        construction.  Survives JSON round-trips verbatim, so scenario
+        experiments can be re-run from saved descriptors.
     """
 
     name: str = PAPER_WORKLOAD_NAME
@@ -168,10 +174,16 @@ class WorkloadSpec:
     skew: float | None = None
     dispatcher_weights: tuple[float, ...] | None = None
     job_sizes: JobSizeDistribution | None = None
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("workload name must be non-empty")
+        if self.scenario is not None:
+            # Fail at grid-definition time, not inside a worker process.
+            from repro.scenarios import make_scenario
+
+            make_scenario(self.scenario)
         if self.skew is not None and self.dispatcher_weights is not None:
             raise ValueError("skew and dispatcher_weights are mutually exclusive")
         if self.skew is not None and self.skew <= 0:
@@ -194,6 +206,7 @@ class WorkloadSpec:
             and (self.skew is None or self.skew == 1.0)
             and self.dispatcher_weights is None
             and self.job_sizes is None
+            and self.scenario is None
         )
 
     def seed_components(self) -> tuple[str, ...]:
@@ -201,9 +214,12 @@ class WorkloadSpec:
 
         Empty for the paper default so legacy seeds are reproduced.
         """
-        if self.name == PAPER_WORKLOAD_NAME:
-            return ()
-        return (self.name,)
+        components: tuple[str, ...] = ()
+        if self.name != PAPER_WORKLOAD_NAME:
+            components += (self.name,)
+        if self.scenario is not None:
+            components += (self.scenario,)
+        return components
 
     # -- constructors ------------------------------------------------------
 
@@ -277,4 +293,6 @@ class WorkloadSpec:
             out["service"] = repr(self.service)
         if self.job_sizes is not None:
             out["job_sizes"] = repr(self.job_sizes)
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
         return out

@@ -15,8 +15,10 @@ Routes::
     GET  /workers              just the worker list
     GET  /jobs                 job summaries
     POST /jobs                 submit {"experiment": <descriptor>,
-                               "checkpoint_every": n} (or a bare
-                               descriptor); 201 -> {"job": id}
+                               "checkpoint_every": n, "priority": p}
+                               (or a bare descriptor); 201 -> {"job": id}
+    POST /jobs/<id>/cancel     stop a running job; 200 -> its status
+                               (cancelling twice is a no-op 200)
     GET  /jobs/<id>            one job's status + its active leases
     GET  /jobs/<id>/result     the assembled result JSON (404 in flight)
     GET  /jobs/<id>/events     the job's telemetry as NDJSON; with
@@ -160,6 +162,14 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            try:
+                self.manager.cancel(parts[1])
+            except KeyError as error:
+                self._not_found(str(error.args[0]) if error.args else "unknown job")
+                return
+            self._reply(200, self.manager.job_status(parts[1]))
+            return
         if parts != ["jobs"]:
             self._not_found(f"no route {url.path!r}")
             return
@@ -170,9 +180,10 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("body must be a JSON object")
             descriptor = body.get("experiment", body)
             checkpoint_every = int(body.get("checkpoint_every", 1))
+            priority = int(body.get("priority", 0))
             experiment = experiment_from_descriptor(descriptor)
             job_id = self.manager.submit(
-                experiment, checkpoint_every=checkpoint_every
+                experiment, checkpoint_every=checkpoint_every, priority=priority
             )
         except (ValueError, KeyError, TypeError) as error:
             self._reply(400, {"error": f"bad experiment descriptor: {error}"})

@@ -20,6 +20,7 @@ from repro.experiments.results import ExperimentResult
 __all__ = [
     "ServiceError",
     "submit_job",
+    "cancel_job",
     "job_status",
     "job_result",
     "list_jobs",
@@ -54,13 +55,22 @@ def _request(url: str, body: dict | None = None) -> dict:
 
 
 def submit_job(
-    url: str, descriptor: dict, checkpoint_every: int = 1
+    url: str, descriptor: dict, checkpoint_every: int = 1, priority: int = 0
 ) -> dict:
     """POST an experiment descriptor; returns the created job's status."""
     return _request(
         f"{url}/jobs",
-        body={"experiment": descriptor, "checkpoint_every": checkpoint_every},
+        body={
+            "experiment": descriptor,
+            "checkpoint_every": checkpoint_every,
+            "priority": priority,
+        },
     )
+
+
+def cancel_job(url: str, job_id: str) -> dict:
+    """Stop a running job; returns its (now cancelled) status."""
+    return _request(f"{url}/jobs/{job_id}/cancel", body={})
 
 
 def job_status(url: str, job_id: str) -> dict:

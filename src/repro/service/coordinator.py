@@ -10,7 +10,8 @@ the :class:`~repro.service.jobs.JobManager`.
 
 Protocol (worker -> coordinator; replies only where noted)::
 
-    ("register", {"name", "pid"})        -> ("registered", {...})
+    ("register", {"name", "pid", "token"?}) -> ("registered", {...})
+                                            | ("error", reason), closes
     ("heartbeat",)                          no reply
     ("request-cell",)                    -> ("lease", {...}) | ("idle", {...})
     ("checkpoint", token, manifest, blob)   no reply
@@ -85,12 +86,21 @@ class FederationCoordinator:
         heartbeat_interval: float = 2.0,
         heartbeat_misses: int = 3,
         retry_after: float = 0.5,
+        token: str | None = None,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
         if heartbeat_misses < 1:
             raise ValueError("heartbeat_misses must be >= 1")
+        if token is not None and not token:
+            raise ValueError("auth token must be non-empty or None")
         self.manager = manager
+        #: Shared-secret worker auth: when set, a registration whose
+        #: payload does not quote the same token is rejected and its
+        #: channel closed.  The token never appears in the service
+        #: manifest -- it travels out of band (the operator hands it to
+        #: worker launchers).
+        self.token = token
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_misses = int(heartbeat_misses)
         self.retry_after = float(retry_after)
@@ -164,6 +174,8 @@ class FederationCoordinator:
                 kind = message[0]
                 if kind == "register":
                     worker = self._register(channel, message[1])
+                    if worker is None:
+                        return  # auth rejected; finally closes the channel
                 elif worker is None:
                     channel.send(("error", "register first"))
                     return
@@ -195,9 +207,17 @@ class FederationCoordinator:
 
     # -- message handlers --------------------------------------------------
 
-    def _register(self, channel: MessageChannel, info: dict) -> _Worker:
+    def _register(self, channel: MessageChannel, info: dict) -> _Worker | None:
         base = str(info.get("name") or "worker")
         pid = info.get("pid")
+        if self.token is not None and not secrets.compare_digest(
+            str(info.get("token") or ""), self.token
+        ):
+            self.manager.telemetry.emit(
+                "worker-rejected", worker=base, pid=pid, reason="invalid-token"
+            )
+            channel.send(("error", "invalid auth token"))
+            return None
         with self._lock:
             name = base
             suffix = 1

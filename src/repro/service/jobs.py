@@ -30,10 +30,10 @@ the network (the coordinator does the talking).
 
 from __future__ import annotations
 
+import heapq
 import json
 import threading
 import time
-from collections import deque
 from pathlib import Path
 
 from repro.experiments.grid import Cell, Experiment
@@ -79,11 +79,13 @@ class _Job:
         directory: Path,
         experiment: Experiment,
         checkpoint_every: int,
+        priority: int = 0,
     ) -> None:
         self.id = job_id
         self.directory = directory
         self.experiment = experiment
         self.checkpoint_every = checkpoint_every
+        self.priority = priority
         self.cells: dict[int, Cell] = {c.index: c for c in experiment.cells()}
         self.records: dict[int, CellRecord] = {}
         self.failures: dict[int, int] = {}
@@ -110,7 +112,14 @@ class JobManager:
         self.keep_checkpoints = keep_checkpoints
         self._lock = threading.RLock()
         self._jobs: dict[str, _Job] = {}
-        self._pending: deque[tuple[str, int]] = deque()
+        # Priority queue of (-priority, order, job_id, index): higher
+        # priorities first, FIFO submission order within a priority.
+        # Requeued cells get decreasing negative orders, which puts them
+        # at the front of their priority band (the old deque-appendleft
+        # semantics, now per band).
+        self._pending: list[tuple[int, int, str, int]] = []
+        self._order = 0
+        self._front_order = -1
         self._next_number = self._first_free_number()
         self.telemetry = TelemetryWriter(self.root / "service-telemetry.jsonl")
 
@@ -125,12 +134,21 @@ class JobManager:
 
     # -- submission -------------------------------------------------------
 
-    def submit(self, experiment: Experiment, checkpoint_every: int = 1) -> str:
+    def submit(
+        self,
+        experiment: Experiment,
+        checkpoint_every: int = 1,
+        priority: int = 0,
+    ) -> str:
         """Register a grid for execution; returns its job id.
 
         ``checkpoint_every`` is forwarded to every cell's worker-side
         :class:`~repro.runs.orchestrator.Run` (checkpoints every that
         many 256-round blocks -- the failover/adoption grain).
+        ``priority`` orders the cell queue: all cells of
+        higher-priority jobs are handed out before any lower-priority
+        cell; ties dispatch in submission order (the default 0 keeps
+        the old pure-FIFO behaviour).
         """
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -143,7 +161,13 @@ class JobManager:
             (directory / "experiment.json").write_text(
                 json.dumps(experiment.describe(), indent=2) + "\n"
             )
-            job = _Job(job_id, directory, experiment, int(checkpoint_every))
+            job = _Job(
+                job_id,
+                directory,
+                experiment,
+                int(checkpoint_every),
+                priority=int(priority),
+            )
             (directory / "job.json").write_text(
                 json.dumps(
                     {
@@ -151,6 +175,7 @@ class JobManager:
                         "id": job_id,
                         "cells": len(job.cells),
                         "checkpoint_every": job.checkpoint_every,
+                        "priority": job.priority,
                         "submitted": job.submitted,
                     },
                     indent=2,
@@ -158,15 +183,29 @@ class JobManager:
                 + "\n"
             )
             self._jobs[job_id] = job
-            self._pending.extend((job_id, index) for index in sorted(job.cells))
-            job.telemetry.emit("job-submitted", job=job_id, cells=len(job.cells))
-            self.telemetry.emit("job-submitted", job=job_id, cells=len(job.cells))
+            for index in sorted(job.cells):
+                heapq.heappush(
+                    self._pending, (-job.priority, self._order, job_id, index)
+                )
+                self._order += 1
+            job.telemetry.emit(
+                "job-submitted",
+                job=job_id,
+                cells=len(job.cells),
+                priority=job.priority,
+            )
+            self.telemetry.emit(
+                "job-submitted",
+                job=job_id,
+                cells=len(job.cells),
+                priority=job.priority,
+            )
             return job_id
 
     # -- the cell queue ---------------------------------------------------
 
     def next_cell(self) -> tuple[str, Cell, int, tuple[dict, bytes] | None] | None:
-        """Pop the next runnable cell, FIFO across jobs.
+        """Pop the next runnable cell: highest priority, then FIFO.
 
         Returns ``(job_id, cell, checkpoint_every, adoption)`` where
         ``adoption`` is the newest uploaded ``(manifest, blob)``
@@ -175,7 +214,7 @@ class JobManager:
         """
         with self._lock:
             while self._pending:
-                job_id, index = self._pending.popleft()
+                _, _, job_id, index = heapq.heappop(self._pending)
                 job = self._jobs[job_id]
                 if job.state != "running" or index in job.records:
                     continue
@@ -186,11 +225,13 @@ class JobManager:
     def requeue_cell(self, job_id: str, index: int, failed: bool = False) -> None:
         """Put a revoked or failed cell back at the *front* of the queue.
 
-        Front, not back: a reassigned cell is the oldest work in the
-        system and its adoption checkpoint is freshest right now.
-        ``failed`` marks a genuine worker-side exception; after
-        :data:`MAX_CELL_FAILURES` of those the whole job fails (a cell
-        that crashes every worker would otherwise bounce forever).
+        Front of its job's priority band, not of the whole queue: a
+        reassigned cell is the oldest work at its priority and its
+        adoption checkpoint is freshest right now, but it must not
+        preempt higher-priority jobs.  ``failed`` marks a genuine
+        worker-side exception; after :data:`MAX_CELL_FAILURES` of those
+        the whole job fails (a cell that crashes every worker would
+        otherwise bounce forever).
         """
         with self._lock:
             job = self._jobs[job_id]
@@ -208,13 +249,34 @@ class JobManager:
                     )
                     self.telemetry.emit("job-failed", job=job_id, error=job.error)
                     return
-            self._pending.appendleft((job_id, index))
+            heapq.heappush(
+                self._pending, (-job.priority, self._front_order, job_id, index)
+            )
+            self._front_order -= 1
+
+    def cancel(self, job_id: str) -> bool:
+        """Stop a running job; returns False when it already left that state.
+
+        Queued cells stay in the heap but :meth:`next_cell` skips
+        non-running jobs, so nothing further is leased.  In-flight
+        leases drain harmlessly: their results and requeues hit the
+        same state guard and are acknowledged-and-dropped.  Unknown
+        ids raise ``KeyError`` (the API's 404).
+        """
+        with self._lock:
+            job = self.job(job_id)
+            if job.state != "running":
+                return False
+            job.state = "cancelled"
+            job.telemetry.emit("job-cancelled", job=job_id)
+            self.telemetry.emit("job-cancelled", job=job_id)
+            return True
 
     def pending_count(self) -> int:
         with self._lock:
             return sum(
                 1
-                for job_id, index in self._pending
+                for _, _, job_id, index in self._pending
                 if self._jobs[job_id].state == "running"
                 and index not in self._jobs[job_id].records
             )
@@ -310,6 +372,7 @@ class JobManager:
                 "cells": len(job.cells),
                 "cells_done": len(job.records),
                 "checkpoint_every": job.checkpoint_every,
+                "priority": job.priority,
                 "submitted": job.submitted,
                 "directory": str(job.directory),
                 "error": job.error,

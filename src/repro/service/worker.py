@@ -53,11 +53,13 @@ class FederationWorker:
         max_cells: int | None = None,
         exit_when_idle: bool = False,
         poll_interval: float = 0.5,
+        token: str | None = None,
     ) -> None:
         if max_cells is not None and max_cells < 1:
             raise ValueError("max_cells must be >= 1")
         self.address = (str(address[0]), int(address[1]))
         self.name = name or f"{socketlib.gethostname()}-{os.getpid()}"
+        self.token = token
         self._explicit_workdir = workdir
         self.max_cells = max_cells
         self.exit_when_idle = exit_when_idle
@@ -78,10 +80,14 @@ class FederationWorker:
             cleanup_workdir = True
         channel = connect_channel(self.address)
         try:
-            channel.send(("register", {"name": self.name, "pid": os.getpid()}))
+            payload = {"name": self.name, "pid": os.getpid()}
+            if self.token is not None:
+                payload["token"] = self.token
+            channel.send(("register", payload))
             kind, info = channel.recv()
             if kind != "registered":
-                raise RuntimeError(f"registration rejected: {kind!r}")
+                detail = f": {info}" if kind == "error" else ""
+                raise RuntimeError(f"registration rejected ({kind!r}){detail}")
             self.name = info["name"]
             heartbeat = threading.Thread(
                 target=self._heartbeat_loop,
@@ -195,6 +201,7 @@ def run_worker(
     max_cells: int | None = None,
     exit_when_idle: bool = False,
     poll_interval: float = 0.5,
+    token: str | None = None,
 ) -> int:
     """Build and run one :class:`FederationWorker` (CLI / spawn target)."""
     return FederationWorker(
@@ -204,4 +211,5 @@ def run_worker(
         max_cells=max_cells,
         exit_when_idle=exit_when_idle,
         poll_interval=poll_interval,
+        token=token,
     ).run()

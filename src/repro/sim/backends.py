@@ -336,8 +336,15 @@ class FastBackend(EngineBackend):
         response_sink = (
             probes.observe_responses if probes.wants_responses else None
         )
+        # Churn scenarios wrap the policy in an adapter exposing the
+        # block's capacity mask; stamping it onto the store arms the
+        # no-admissions-while-masked corruption guard (and checkpoints
+        # then carry the mask with the store).
+        mask_source = getattr(sim.policy, "capacity_mask", None)
 
         def consume(block: UnsizedBlock) -> None:
+            if mask_source is not None:
+                store.set_capacity_mask(mask_source())
             store.process_block(
                 block.start_round,
                 block.received,

@@ -67,6 +67,7 @@ class BatchQueueStore:
         self._counts = np.empty(0, dtype=np.int64)
         self._lengths = np.zeros(self._n, dtype=np.int64)
         self._jobs = np.zeros(self._n, dtype=np.int64)
+        self._capacity_mask: np.ndarray | None = None
 
     # -- state inspection (tests, debugging) -------------------------------
 
@@ -81,6 +82,40 @@ class BatchQueueStore:
     def queued_jobs(self) -> np.ndarray:
         """Total queued jobs per server (sum of pending batch counts)."""
         return self._jobs.copy()
+
+    # -- capacity mask (server churn) --------------------------------------
+
+    def capacity_mask(self) -> np.ndarray | None:
+        """The availability mask in force, or ``None`` (full fleet)."""
+        # getattr: checkpoints written before churn existed lack the slot.
+        return getattr(self, "_capacity_mask", None)
+
+    def set_capacity_mask(self, mask: np.ndarray | None) -> None:
+        """Stamp the block's churn mask (``True`` = accepts dispatches).
+
+        Masked servers may still *drain* -- departures are legal on any
+        server holding work -- but :meth:`process_block` rejects blocks
+        that admit jobs to them, turning a churn-adapter bug into a loud
+        corruption error instead of silently wrong results.  The mask is
+        a plain attribute, so checkpoints pickle and restore it.
+        """
+        if mask is None:
+            self._capacity_mask = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n,):
+            raise ValueError(
+                f"capacity mask has shape {mask.shape}, expected ({self._n},)"
+            )
+        self._capacity_mask = mask
+
+    def _check_capacity_mask(self, received_totals: np.ndarray) -> None:
+        mask = self.capacity_mask()
+        if mask is not None and np.any(received_totals[~mask]):
+            raise RuntimeError(
+                "batch store admitted jobs to churn-masked servers; "
+                "the churn adapter failed to redirect them"
+            )
 
     # -- block resolution --------------------------------------------------
 
@@ -119,6 +154,7 @@ class BatchQueueStore:
         """
         n = self._n
         new_totals = received_block.sum(axis=0)
+        self._check_capacity_mask(new_totals)
         server_totals = self._jobs + new_totals
         dep_totals = done_block.sum(axis=0)
         if np.any(dep_totals > server_totals):
@@ -269,6 +305,7 @@ class SizedBatchQueueStore:
         self._remaining = np.empty(0, dtype=np.int64)
         self._lengths = np.zeros(self._n, dtype=np.int64)
         self._units = np.zeros(self._n, dtype=np.int64)
+        self._capacity_mask: np.ndarray | None = None
 
     # -- state inspection (tests, debugging) -------------------------------
 
@@ -283,6 +320,32 @@ class SizedBatchQueueStore:
     def queued_units(self) -> np.ndarray:
         """Total queued work units per server (head jobs may be partial)."""
         return self._units.copy()
+
+    # -- capacity mask (server churn) --------------------------------------
+
+    def capacity_mask(self) -> np.ndarray | None:
+        """The availability mask in force, or ``None`` (full fleet)."""
+        return getattr(self, "_capacity_mask", None)
+
+    def set_capacity_mask(self, mask: np.ndarray | None) -> None:
+        """Stamp the block's churn mask, as in :class:`BatchQueueStore`."""
+        if mask is None:
+            self._capacity_mask = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n,):
+            raise ValueError(
+                f"capacity mask has shape {mask.shape}, expected ({self._n},)"
+            )
+        self._capacity_mask = mask
+
+    def _check_capacity_mask(self, job_servers: np.ndarray) -> None:
+        mask = self.capacity_mask()
+        if mask is not None and job_servers.size and np.any(~mask[job_servers]):
+            raise RuntimeError(
+                "sized batch store admitted jobs to churn-masked servers; "
+                "the churn adapter failed to redirect them"
+            )
 
     # -- block resolution --------------------------------------------------
 
@@ -332,6 +395,7 @@ class SizedBatchQueueStore:
             raise ValueError("job sizes must be >= 1")
         if job_servers.size and np.any(np.diff(job_servers) < 0):
             raise ValueError("jobs must be sorted server-major")
+        self._check_capacity_mask(job_servers)
         new_units = np.zeros(n, dtype=np.int64)
         if job_sizes.size:
             np.add.at(new_units, job_servers, job_sizes)

@@ -325,7 +325,9 @@ class CompiledBatchQueueStore(BatchQueueStore):
             )
         received_block = _as_block(received_block)
         done_block = _as_block(done_block)
-        server_totals = self._jobs + received_block.sum(axis=0)
+        new_totals = received_block.sum(axis=0)
+        self._check_capacity_mask(new_totals)
+        server_totals = self._jobs + new_totals
         dep_totals = done_block.sum(axis=0)
         if np.any(dep_totals > server_totals):
             raise RuntimeError(
@@ -400,6 +402,7 @@ class CompiledSizedBatchQueueStore(SizedBatchQueueStore):
             raise ValueError("job sizes must be >= 1")
         if job_servers.size and np.any(np.diff(job_servers) < 0):
             raise ValueError("jobs must be sorted server-major")
+        self._check_capacity_mask(job_servers)
         done_block = _as_block(done_block)
         new_units = np.zeros(n, dtype=np.int64)
         if job_sizes.size:

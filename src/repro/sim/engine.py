@@ -69,6 +69,13 @@ class SimulationConfig:
         default collectors (response histogram, queue series) are
         always present; these are appended and surface their summaries
         under ``<label>.<key>`` metric keys and ``result.probes``.
+    scenario:
+        Optional scenario spec string ``NAME[:k=v,...]`` (see
+        :mod:`repro.scenarios`; ``repro scenarios`` lists them).
+        Applied once at :class:`Simulation` construction: the scenario
+        may wrap the arrival process (nonstationary rates) and/or the
+        policy (server churn).  ``None`` -- the default -- leaves the
+        stationary code path byte-for-byte untouched.
     """
 
     rounds: int = 10_000
@@ -77,6 +84,7 @@ class SimulationConfig:
     track_queue_series: bool = True
     backend: str = "reference"
     probes: tuple[ProbeSpec, ...] = ()
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -85,6 +93,8 @@ class SimulationConfig:
             raise ValueError("warmup must be in [0, rounds)")
         if not self.backend:
             raise ValueError("backend must be a non-empty registry name")
+        if self.scenario is not None and not self.scenario:
+            raise ValueError("scenario must be a non-empty spec string or None")
         object.__setattr__(
             self, "probes", tuple(ProbeSpec.of(p) for p in self.probes)
         )
@@ -160,6 +170,15 @@ class Simulation:
             raise ValueError(
                 f"service process drives {service.num_servers} servers "
                 f"but {self.rates.size} rates were given"
+            )
+        if self.config.scenario is not None:
+            # Applied before bind and before the objects are stored, so
+            # run manifests pickle the wrapped policy/arrivals and every
+            # kernel (and resume) sees the identical reshaped pair.
+            from repro.scenarios import apply_scenario
+
+            policy, arrivals = apply_scenario(
+                self.config.scenario, policy, arrivals, self.rates.size
             )
         self.policy = policy
         self.arrivals = arrivals

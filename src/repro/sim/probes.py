@@ -29,8 +29,10 @@ registry-backed axis instead:
 Built-in probes beyond the defaults: ``server_stats`` (per-server queue
 distribution, utilization, idle fraction), ``dispatcher_stats``
 (per-dispatcher batch statistics), ``windowed_mean`` (response-time
-means over round windows) and ``herding`` (per-round co-targeting
-spikes, the paper's coordination-failure mechanism).
+means over round windows), ``windowed_stability`` (total-queue means
+over round windows, the drift signal for nonstationary scenarios) and
+``herding`` (per-round co-targeting spikes, the paper's
+coordination-failure mechanism).
 
 Custom probes subclass :class:`Probe`, override :meth:`Probe.on_round`
 (simple, per-round) or :meth:`Probe.observe_block` (vectorized), and
@@ -71,6 +73,7 @@ __all__ = [
     "ServerResponseStatsProbe",
     "DispatcherStatsProbe",
     "WindowedMeanProbe",
+    "WindowedStabilityProbe",
     "HerdingSignalProbe",
 ]
 
@@ -1224,6 +1227,128 @@ class WindowedMeanProbe(Probe):
             )
         self._sums[: other._sums.size] += other._sums
         self._counts[: other._counts.size] += other._counts
+
+    def get_state(self) -> dict:
+        if self._sums is None:
+            return {"sums": [], "counts": []}
+        return {"sums": self._sums.tolist(), "counts": self._counts.tolist()}
+
+    def set_state(self, state: dict) -> None:
+        self._sums = np.asarray(state.get("sums", ()), dtype=np.int64)
+        self._counts = np.asarray(state.get("counts", ()), dtype=np.int64)
+
+
+@register_probe("windowed_stability")
+class WindowedStabilityProbe(Probe):
+    """Mean total queue length per window of rounds -- the time-windowed
+    stability indicator for nonstationary scenarios.
+
+    A stationary stable run shows flat window means; a flash crowd shows
+    a hump that drains back down; an inadmissible (or churn-starved)
+    configuration shows monotone growth.  ``growth`` -- the last window's
+    mean over the first's -- is the headline drift number.
+
+    Sums are integer-exact, so all kernels agree bitwise.
+    """
+
+    description = (
+        "mean total queue length per window of rounds (time-windowed "
+        "queue-growth indicator for nonstationary scenarios)"
+    )
+    fields = frozenset({"queues"})
+    #: Each shard's column-sums add up to the global total queue length
+    #: round by round, so the shard fold is additive on sums; counts are
+    #: round tallies every shard sees in full, hence the max-fold in
+    #: :meth:`merge_partition`.
+    partitionable = True
+
+    def __init__(self, window: int = 1000) -> None:
+        super().__init__()
+        window = int(window)
+        if window < 1:
+            raise ValueError("window must be >= 1 round")
+        self.window = window
+        self._sums: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    def bind(self, ctx: ProbeContext) -> None:
+        super().bind(ctx)
+        windows = -(-ctx.rounds // self.window)  # ceil
+        self._sums = np.zeros(windows, dtype=np.int64)
+        self._counts = np.zeros(windows, dtype=np.int64)
+
+    def observe_block(self, block: ProbeBlock) -> None:
+        index = (
+            block.start_round + np.arange(block.length, dtype=np.int64)
+        ) // self.window
+        np.add.at(self._sums, index, block.queues.sum(axis=1))
+        np.add.at(self._counts, index, 1)
+
+    def means(self) -> np.ndarray:
+        """Per-window mean total queue length (NaN for empty windows)."""
+        if self._sums is None:
+            return np.zeros(0, dtype=np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self._counts > 0, self._sums / self._counts, float("nan")
+            )
+
+    def summary(self) -> dict[str, float]:
+        means = self.means()
+        filled = np.flatnonzero(~np.isnan(means)) if means.size else np.zeros(0, int)
+        first = float(means[filled[0]]) if filled.size else float("nan")
+        last = float(means[filled[-1]]) if filled.size else float("nan")
+        peak = int(filled[np.argmax(means[filled])]) if filled.size else -1
+        return {
+            "window": float(self.window),
+            "windows": float(means.size),
+            "first_mean": first,
+            "last_mean": last,
+            "peak_mean": float(means[peak]) if peak >= 0 else float("nan"),
+            "peak_window": float(peak),
+            "growth": last / first if filled.size and first else float("nan"),
+        }
+
+    def probe_kwargs(self) -> dict:
+        return {"window": self.window}
+
+    def _align(self, other: "WindowedStabilityProbe") -> None:
+        if other.window != self.window:
+            raise ValueError(
+                f"cannot merge window={other.window} into window={self.window}"
+            )
+        if self._sums is None:
+            self._sums = np.zeros(0, dtype=np.int64)
+            self._counts = np.zeros(0, dtype=np.int64)
+        if other._sums is not None and other._sums.size > self._sums.size:
+            self._sums = np.pad(self._sums, (0, other._sums.size - self._sums.size))
+            self._counts = np.pad(
+                self._counts, (0, other._counts.size - self._counts.size)
+            )
+
+    def merge(self, other: "Probe") -> None:
+        """Pool replications / time shards (disjoint round multisets)."""
+        self._check_merge(other)
+        self._align(other)
+        if other._sums is None:
+            return
+        self._sums[: other._sums.size] += other._sums
+        self._counts[: other._counts.size] += other._counts
+
+    def merge_partition(self, other: "Probe") -> None:
+        """Fold a server shard: add its column-sums, keep round tallies."""
+        self._check_merge(other)
+        self._align(other)
+        if other._sums is None:
+            return
+        self._sums[: other._sums.size] += other._sums
+        # Every shard observed every round; adding tallies would divide
+        # the pooled sums by the shard count.
+        np.maximum(
+            self._counts[: other._counts.size],
+            other._counts,
+            out=self._counts[: other._counts.size],
+        )
 
     def get_state(self) -> dict:
         if self._sums is None:

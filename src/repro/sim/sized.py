@@ -229,6 +229,7 @@ class SizedSimulation:
         backend: str = "reference",
         warmup: int = 0,
         probes: tuple = (),
+        scenario: str | None = None,
     ) -> None:
         self.rates = np.asarray(rates, dtype=np.float64)
         if service.num_servers != self.rates.size:
@@ -239,6 +240,14 @@ class SizedSimulation:
             raise ValueError("warmup must be in [0, rounds)")
         if not backend:
             raise ValueError("backend must be a non-empty registry name")
+        if scenario is not None:
+            # Same single application point as the unsized engine: wrap
+            # before bind so checkpoints carry the reshaped objects.
+            from repro.scenarios import apply_scenario
+
+            policy, arrivals = apply_scenario(
+                scenario, policy, arrivals, self.rates.size
+            )
         self.policy = policy
         self.arrivals = arrivals
         self.service = service
@@ -247,6 +256,7 @@ class SizedSimulation:
         self.warmup = int(warmup)
         self.seed = int(seed)
         self.backend = backend
+        self.scenario = scenario
         self.probes = tuple(ProbeSpec.of(p) for p in probes)
         self._streams = spawn_streams(seed)
         policy.bind(

@@ -92,3 +92,10 @@ def test_probes_tour():
     assert "utilization / herding" in out
     assert "scd" in out and "jsq" in out
     assert "worst spike" in out
+
+
+def test_flash_crowd():
+    out = run_example("flash_crowd.py", "--rounds", "1024")
+    assert "scenario flash:spike=" in out
+    assert "Queue backlog through the spike" in out
+    assert "peak queue" in out and "growth" in out

@@ -623,3 +623,191 @@ class TestServiceCLI:
         assert main(["status", "--url", api.url, "job-0001", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["state"] == "finished"
+
+
+# ---------------------------------------------------------------------------
+# Job priorities and cancellation.
+# ---------------------------------------------------------------------------
+
+
+class TestJobPriorities:
+    def test_higher_priority_cells_lease_first(self, tmp_path):
+        manager = JobManager(tmp_path)
+        low = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        high = manager.submit(
+            small_experiment(rounds=300, loads=(0.8,)), priority=5
+        )
+        order = []
+        while (pulled := manager.next_cell()) is not None:
+            order.append(pulled[0])
+        split = order.index(low)
+        assert set(order[:split]) == {high}
+        assert set(order[split:]) == {low}
+        manager.close()
+
+    def test_default_priority_keeps_fifo_submission_order(self, tmp_path):
+        manager = JobManager(tmp_path)
+        first = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        second = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        jobs = []
+        while (pulled := manager.next_cell()) is not None:
+            jobs.append(pulled[0])
+        assert jobs == [first] * 2 + [second] * 2
+        manager.close()
+
+    def test_requeue_front_of_band_without_preempting(self, tmp_path):
+        manager = JobManager(tmp_path)
+        low = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        job_id, cell, _, _ = manager.next_cell()
+        assert job_id == low
+        high = manager.submit(
+            small_experiment(rounds=300, loads=(0.8,)), priority=9
+        )
+        manager.requeue_cell(low, cell.index)
+        # Every high-priority cell still outranks the requeued one...
+        assert manager.next_cell()[0] == high
+        assert manager.next_cell()[0] == high
+        # ...but within its band the requeued cell is first again.
+        again_job, again, _, _ = manager.next_cell()
+        assert (again_job, again.index) == (low, cell.index)
+        manager.close()
+
+    def test_priority_lands_in_status_and_manifest(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(
+            small_experiment(rounds=300, loads=(0.8,)), priority=3
+        )
+        assert manager.job_status(job)["priority"] == 3
+        manifest = json.loads(
+            (manager.jobs_dir / job / "job.json").read_text()
+        )
+        assert manifest["priority"] == 3
+        manager.close()
+
+
+class TestJobCancellation:
+    def test_cancel_drops_queued_cells(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        assert manager.cancel(job)
+        assert manager.job_state(job) == "cancelled"
+        assert manager.next_cell() is None
+        assert not manager.cancel(job)  # already left "running"
+        manager.close()
+
+    def test_inflight_lease_drains_harmlessly(self, tmp_path):
+        manager = JobManager(tmp_path)
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        job = manager.submit(experiment)
+        _, cell, _, _ = manager.next_cell()
+        records = SerialExecutor().run(experiment)
+        manager.cancel(job)
+        # A late result and a revoked-lease requeue both hit the state
+        # guard: acknowledged, dropped, nothing re-enters the queue.
+        assert not manager.record_result(job, cell.index, records[cell.index])
+        manager.requeue_cell(job, cell.index)
+        assert manager.next_cell() is None
+        assert manager.job_status(job)["cells_done"] == 0
+        manager.close()
+
+    def test_cancel_unknown_job_raises_key_error(self, tmp_path):
+        manager = JobManager(tmp_path)
+        with pytest.raises(KeyError):
+            manager.cancel("job-9999")
+        manager.close()
+
+    def test_cancel_emits_telemetry(self, tmp_path):
+        manager = JobManager(tmp_path)
+        job = manager.submit(small_experiment(rounds=300, loads=(0.8,)))
+        manager.cancel(job)
+        kinds = [e["event"] for e in iter_events(manager.telemetry_path(job))]
+        assert kinds[-1] == "job-cancelled"
+        manager.close()
+
+    def test_cancel_over_http_and_cli(self, service, capsys):
+        from repro.cli import main
+        from repro.service.client import cancel_job
+
+        manager, _coordinator, api = service
+        job = manager.submit(
+            small_experiment(rounds=300, loads=(0.8,)), priority=2
+        )
+        status = cancel_job(api.url, job)
+        assert (status["state"], status["priority"]) == ("cancelled", 2)
+        # cancelling again over the CLI is a no-op 200, not an error
+        assert main(["cancel", job, "--url", api.url]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        with pytest.raises(ServiceError) as excinfo:
+            cancel_job(api.url, "job-9999")
+        assert excinfo.value.code == 404
+
+
+# ---------------------------------------------------------------------------
+# Worker auth tokens.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def token_service(tmp_path):
+    manager = JobManager(tmp_path / "data")
+    coordinator = FederationCoordinator(
+        manager,
+        heartbeat_interval=0.2,
+        heartbeat_misses=3,
+        retry_after=0.05,
+        token="s3cret",
+    )
+    coordinator.start()
+    yield manager, coordinator
+    coordinator.stop()
+    manager.close()
+
+
+class TestWorkerAuth:
+    def test_wrong_token_rejected_and_channel_closed(self, token_service):
+        _manager, coordinator = token_service
+        worker = FederationWorker(
+            coordinator.address, name="intruder", token="wrong"
+        )
+        with pytest.raises(RuntimeError, match="invalid auth token"):
+            worker.run()
+        assert coordinator.status()["workers"] == []
+
+    def test_missing_token_rejected(self, token_service):
+        _manager, coordinator = token_service
+        worker = FederationWorker(coordinator.address, name="anon")
+        with pytest.raises(RuntimeError, match="invalid auth token"):
+            worker.run()
+
+    def test_correct_token_serves_jobs_end_to_end(self, token_service):
+        manager, coordinator = token_service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        baseline = SerialExecutor().run(experiment)
+        job = manager.submit(experiment)
+        start_worker_thread(
+            coordinator, name="trusted", token="s3cret"
+        ).join(timeout=120)
+        assert manager.job_state(job) == "finished"
+        stored = load_experiment(manager.result_path(job))
+        assert tuple(stored.records) == tuple(baseline)
+
+    def test_rejection_emits_telemetry(self, token_service):
+        manager, coordinator = token_service
+        with pytest.raises(RuntimeError):
+            FederationWorker(coordinator.address, name="x", token="nope").run()
+        events = list(iter_events(manager.telemetry.path))
+        rejected = [e for e in events if e["event"] == "worker-rejected"]
+        assert rejected and rejected[-1]["reason"] == "invalid-token"
+
+    def test_empty_token_rejected_at_construction(self, tmp_path):
+        manager = JobManager(tmp_path)
+        with pytest.raises(ValueError):
+            FederationCoordinator(manager, token="")
+        manager.close()
+
+    def test_tokenless_coordinator_still_accepts_anyone(self, service):
+        manager, coordinator, _api = service
+        experiment = small_experiment(rounds=300, loads=(0.8,))
+        job = manager.submit(experiment)
+        start_worker_thread(coordinator, name="open").join(timeout=120)
+        assert manager.job_state(job) == "finished"
