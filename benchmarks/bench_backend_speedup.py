@@ -50,6 +50,17 @@ server-churn schedule -- against the identical stationary cell;
 ``--check`` bars the worst scenario overhead at 10% (the block
 pre-sampler and capacity-mask adapter must not tax the hot path).
 
+A mean-field cell (``--meanfield-sizes``, default 10000x100) times the
+analytical fluid-limit backend against the fast kernel on a homogeneous
+``random`` cell -- the regime where the mean-field ODE is provably the
+n -> infinity limit and the per-round cost is independent of n --
+recording both the wall-clock speedup and the trajectory error between
+the two mean response times.  ``--check`` bars the speedup at 100x at
+the 10^4-server point and the trajectory error at 15% everywhere the
+cell runs.  The cell has its own round budget (``--meanfield-rounds``,
+default 2000): the *fast* leg costs ~30 ms/round at 10^4 servers, so it
+cannot ride the 10^4-round default grid horizon.
+
 A service cell (``--service-sizes``, default 50x20) stands up the whole
 coordination service in-process (job manager, coordinator, HTTP API,
 one worker) and times HTTP submit to the first ``cell-finished`` event
@@ -96,6 +107,10 @@ DEFAULT_PROCESS_SIZES = ("200x100",)
 DEFAULT_CHECKPOINT_SIZES = ("100x50",)
 DEFAULT_SCENARIO_SIZES = ("100x50",)
 DEFAULT_SERVICE_SIZES = ("50x20",)
+DEFAULT_MEANFIELD_SIZES = ("10000x100",)
+#: Round budget for the mean-field cell -- separate from the grid
+#: horizon because the *fast* leg costs ~30 ms/round at 10^4 servers.
+MEANFIELD_ROUNDS = 2000
 #: Checkpoint cadence for the run-lifecycle overhead cell (blocks).
 CHECKPOINT_EVERY = 4
 #: Every built-in probe beyond the default collectors (the worst-case
@@ -143,6 +158,26 @@ COMPILED_TARGET_SIZE = "200x100"
 #: The policy the compiled cell times: deterministic (bit-exact across
 #: all three backends) and owner of a jitted whole-block round loop.
 COMPILED_POLICY = "rr"
+#: Acceptance bar: meanfield/fast rounds-per-second at the
+#: 10^4-server grid point.  The analytic backend's cost is independent
+#: of n, so the bar is deliberately aggressive -- at 10^4 servers the
+#: fast kernel is ~400x slower in practice.
+MEANFIELD_TARGET_SPEEDUP = 100.0
+MEANFIELD_TARGET_SIZE = "10000x100"
+#: Acceptance bar: relative gap between the fast kernel's measured mean
+#: response time and the fluid limit's, on the same horizon.  For the
+#: homogeneous ``random`` cell the fluid limit is exact as n -> infinity
+#: (each server sees an independent thinned Poisson stream), so the gap
+#: is finite-n sampling noise plus the O(1/n) correction.
+MEANFIELD_TRAJECTORY_TOL = 0.15
+#: The policy and rate profile the mean-field cell times.  ``random``
+#: deliberately: its fluid arrival map is a closed-form Poisson-tail
+#: convolution (the jsq(d) choice drift needs sub-round ODE steps and
+#: is not the headline speed path), and ``homogeneous`` deliberately:
+#: under random dispatch a heterogeneous fleet is fluid-unstable unless
+#: rho < mu_min / mean(mu).
+MEANFIELD_POLICY = "random"
+MEANFIELD_PROFILE = "homogeneous"
 
 
 def _parse_size(token: str) -> tuple[int, int]:
@@ -175,8 +210,10 @@ def _build_sim(
     backend: str,
     probes: tuple = (),
     scenario: str | None = None,
+    profile: str = "u1_10",
+    warmup: int = 0,
 ) -> repro.Simulation:
-    system = repro.SystemSpec(num_servers=n, num_dispatchers=m)
+    system = repro.SystemSpec(num_servers=n, num_dispatchers=m, profile=profile)
     rates = system.rates()
     return repro.Simulation(
         rates=rates,
@@ -184,8 +221,8 @@ def _build_sim(
         arrivals=repro.PoissonArrivals(system.lambdas(rho)),
         service=repro.GeometricService(rates),
         config=repro.SimulationConfig(
-            rounds=rounds, seed=seed, backend=backend, probes=probes,
-            scenario=scenario,
+            rounds=rounds, warmup=warmup, seed=seed, backend=backend,
+            probes=probes, scenario=scenario,
         ),
     )
 
@@ -638,6 +675,63 @@ def time_service_cell(
     return cell
 
 
+def time_meanfield_cell(
+    n: int,
+    m: int,
+    rho: float,
+    rounds: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """The analytic fluid-limit backend against the fast kernel.
+
+    Times the identical :data:`MEANFIELD_POLICY` cell on a
+    :data:`MEANFIELD_PROFILE` fleet on both backends (same rounds, same
+    ``rounds // 4`` warmup) and records the wall-clock speedup plus the
+    relative gap between the two mean response times
+    (``trajectory_error``).  The seed only feeds the fast leg -- the
+    fluid limit is deterministic -- so the error folds together
+    finite-n bias and single-seed sampling noise; ``--check`` bars it
+    at :data:`MEANFIELD_TRAJECTORY_TOL`.
+    """
+    warmup = rounds // 4
+    cell: dict = {
+        "engine": "meanfield",
+        "policy": MEANFIELD_POLICY,
+        "profile": MEANFIELD_PROFILE,
+        "num_servers": n,
+        "num_dispatchers": m,
+        "rho": rho,
+        "rounds": rounds,
+        "warmup": warmup,
+        "seed": seed,
+    }
+    means = {}
+    for backend in ("fast", "meanfield"):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = _build_sim(
+                MEANFIELD_POLICY, n, m, rho, rounds, seed, backend,
+                profile=MEANFIELD_PROFILE, warmup=warmup,
+            )
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        means[backend] = result.mean_response_time
+        cell[f"{backend}_seconds"] = best
+        cell[f"{backend}_rounds_per_sec"] = rounds / best
+    cell["speedup"] = (
+        cell["meanfield_rounds_per_sec"] / cell["fast_rounds_per_sec"]
+    )
+    cell["fast_mean_response"] = means["fast"]
+    cell["meanfield_mean_response"] = means["meanfield"]
+    cell["trajectory_error"] = abs(
+        means["fast"] - means["meanfield"]
+    ) / abs(means["meanfield"])
+    cell["peak_rss_kb"] = _peak_rss_kb()
+    return cell
+
+
 def _best_at_target(cells: list[dict], engine: str) -> float | None:
     at_target = [
         c
@@ -666,6 +760,8 @@ def run_grid(
     process_sizes: tuple[str, ...] = (),
     scenario_sizes: tuple[str, ...] = (),
     service_sizes: tuple[str, ...] = (),
+    meanfield_sizes: tuple[str, ...] = (),
+    meanfield_rounds: int = MEANFIELD_ROUNDS,
 ) -> dict:
     """Time every (engine, size, policy) cell and assemble the perf record."""
     cells = []
@@ -778,6 +874,19 @@ def run_grid(
             f"first-metric={cell['first_metric_seconds']:6.2f}s  "
             f"overhead={cell['service_overhead_seconds']:+.2f}s"
         )
+    meanfield_cells = []
+    for token in meanfield_sizes:
+        n, m = _parse_size(token)
+        cell = time_meanfield_cell(n, m, rho, meanfield_rounds, seed, repeats)
+        cells.append(cell)
+        meanfield_cells.append(cell)
+        print(
+            f"mfield  n={n:4d} m={m:3d} {MEANFIELD_POLICY:6s} "
+            f"fast={cell['fast_rounds_per_sec']:9.0f} r/s  "
+            f"meanfield={cell['meanfield_rounds_per_sec']:9.0f} r/s  "
+            f"speedup={cell['speedup']:.0f}x  "
+            f"traj-err={100 * cell['trajectory_error']:.1f}%"
+        )
     return {
         "benchmark": "backend_speedup",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -801,6 +910,8 @@ def run_grid(
             "scenario_sizes": list(scenario_sizes),
             "scenarios": {label: spec for label, spec in SCENARIO_BENCH},
             "service_sizes": list(service_sizes),
+            "meanfield_sizes": list(meanfield_sizes),
+            "meanfield_rounds": meanfield_rounds,
             "mean_size": mean_size,
             "rho": rho,
             "rounds": rounds,
@@ -850,6 +961,21 @@ def run_grid(
             ),
             "process_best_speedup": max(
                 (c["process_speedup"] for c in process_cells), default=None
+            ),
+            "meanfield_target_size": MEANFIELD_TARGET_SIZE,
+            "meanfield_target_speedup": MEANFIELD_TARGET_SPEEDUP,
+            "meanfield_best_speedup": max(
+                (
+                    c["speedup"]
+                    for c in meanfield_cells
+                    if f"{c['num_servers']}x{c['num_dispatchers']}"
+                    == MEANFIELD_TARGET_SIZE
+                ),
+                default=None,
+            ),
+            "meanfield_trajectory_tolerance": MEANFIELD_TRAJECTORY_TOL,
+            "meanfield_trajectory_error": max(
+                (c["trajectory_error"] for c in meanfield_cells), default=None
             ),
             "cpu_count": os.cpu_count(),
             "peak_rss_kb": _peak_rss_kb(),
@@ -943,6 +1069,22 @@ def main(argv: list[str] | None = None) -> int:
         "service, minus the cell's own simulation time; empty list "
         "skips it)",
     )
+    parser.add_argument(
+        "--meanfield-sizes",
+        nargs="*",
+        default=list(DEFAULT_MEANFIELD_SIZES),
+        metavar="NxM",
+        help="grid points for the mean-field cell (the analytic "
+        f"fluid-limit backend vs the fast kernel on a homogeneous "
+        f"{MEANFIELD_POLICY} cell; empty list skips it)",
+    )
+    parser.add_argument(
+        "--meanfield-rounds",
+        type=int,
+        default=MEANFIELD_ROUNDS,
+        help="round budget for the mean-field cell (separate from "
+        "--rounds: the fast leg costs ~30 ms/round at 10^4 servers)",
+    )
     parser.add_argument("--rho", type=float, default=0.9)
     parser.add_argument("--rounds", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -963,8 +1105,11 @@ def main(argv: list[str] | None = None) -> int:
         f"reference at {COMPILED_TARGET_SIZE} when numba is importable, and "
         f"requires a sharded:N:process wall-clock speedup (>1x) on "
         f"multi-CPU boxes (both auto-skip where the hardware cannot "
-        f"deliver them), and bars the service submit-to-first-metric "
-        f"overhead at {SERVICE_FIRST_METRIC_TARGET:.0f}s",
+        f"deliver them), bars the service submit-to-first-metric "
+        f"overhead at {SERVICE_FIRST_METRIC_TARGET:.0f}s, and bars the "
+        f"mean-field backend at {MEANFIELD_TARGET_SPEEDUP:.0f}x over "
+        f"fast at {MEANFIELD_TARGET_SIZE} with a trajectory error under "
+        f"{MEANFIELD_TRAJECTORY_TOL:.0%}",
     )
     args = parser.parse_args(argv)
 
@@ -986,6 +1131,8 @@ def main(argv: list[str] | None = None) -> int:
         process_sizes=tuple(args.process_sizes),
         scenario_sizes=tuple(args.scenario_sizes),
         service_sizes=tuple(args.service_sizes),
+        meanfield_sizes=tuple(args.meanfield_sizes),
+        meanfield_rounds=args.meanfield_rounds,
     )
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"perf record written to {args.out}")
@@ -1112,6 +1259,43 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         else:
             print(f"OK (process): {process_best:.2f}x > 1.00x")
+    meanfield_best = record["headline"]["meanfield_best_speedup"]
+    trajectory_error = record["headline"]["meanfield_trajectory_error"]
+    if meanfield_best is not None:
+        print(
+            f"headline (meanfield {MEANFIELD_TARGET_SIZE}): "
+            f"{meanfield_best:.0f}x over fast, trajectory error "
+            f"{100 * trajectory_error:.1f}%"
+        )
+    if args.check and args.meanfield_sizes:
+        if meanfield_best is None:
+            print(f"--check requires a meanfield {MEANFIELD_TARGET_SIZE} cell")
+            misconfigured = True
+        elif meanfield_best < MEANFIELD_TARGET_SPEEDUP:
+            print(
+                f"FAIL (meanfield): {meanfield_best:.0f}x < "
+                f"{MEANFIELD_TARGET_SPEEDUP:.0f}x"
+            )
+            failures += 1
+        else:
+            print(
+                f"OK (meanfield): {meanfield_best:.0f}x >= "
+                f"{MEANFIELD_TARGET_SPEEDUP:.0f}x"
+            )
+        if trajectory_error is not None:
+            if trajectory_error > MEANFIELD_TRAJECTORY_TOL:
+                print(
+                    f"FAIL (meanfield trajectory): "
+                    f"{100 * trajectory_error:.1f}% > "
+                    f"{100 * MEANFIELD_TRAJECTORY_TOL:.0f}%"
+                )
+                failures += 1
+            else:
+                print(
+                    f"OK (meanfield trajectory): "
+                    f"{100 * trajectory_error:.1f}% <= "
+                    f"{100 * MEANFIELD_TRAJECTORY_TOL:.0f}%"
+                )
     if record["headline"]["peak_rss_kb"] is not None:
         print(f"peak RSS: {record['headline']['peak_rss_kb']} KiB")
     if misconfigured:
@@ -1129,6 +1313,7 @@ def test_backend_speedup_record(tmp_path):
         compiled_sizes=("10x4",), process_sizes=("10x4",),
         scenario_sizes=("10x4",),
         service_sizes=("10x4",),
+        meanfield_sizes=("10x4",), meanfield_rounds=600,
     )
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(record))
@@ -1136,7 +1321,7 @@ def test_backend_speedup_record(tmp_path):
     assert loaded["benchmark"] == "backend_speedup"
     (
         unsized, sized, compiled, sharded, process, probes, scenario,
-        checkpoint, service,
+        checkpoint, service, meanfield,
     ) = loaded["cells"]
     assert unsized["engine"] == "unsized" and sized["engine"] == "sized"
     for cell in (unsized, sized):
@@ -1191,6 +1376,28 @@ def test_backend_speedup_record(tmp_path):
     assert (
         service["service_overhead_seconds"]
         == service["first_metric_seconds"] - service["plain_seconds"]
+    )
+    assert meanfield["engine"] == "meanfield"
+    assert meanfield["policy"] == MEANFIELD_POLICY
+    assert meanfield["profile"] == MEANFIELD_PROFILE
+    assert meanfield["rounds"] == 600 and meanfield["warmup"] == 150
+    assert meanfield["fast_rounds_per_sec"] > 0
+    assert meanfield["meanfield_rounds_per_sec"] > 0
+    assert meanfield["speedup"] > 0
+    # At n=10 the trajectory error folds in real single-seed noise, so
+    # the smoke only checks it is well-defined; the 10^4-server default
+    # cell is where the 15% bar applies.
+    assert np.isfinite(meanfield["trajectory_error"])
+    assert meanfield["trajectory_error"] >= 0
+    assert loaded["headline"]["meanfield_trajectory_error"] == meanfield[
+        "trajectory_error"
+    ]
+    # The tiny smoke grid has no MEANFIELD_TARGET_SIZE point, so the
+    # headline speedup bar stays unset (same shape as compiled below).
+    assert loaded["headline"]["meanfield_best_speedup"] is None
+    assert (
+        loaded["headline"]["meanfield_target_speedup"]
+        == MEANFIELD_TARGET_SPEEDUP
     )
     assert loaded["headline"]["service_overhead_seconds"] is not None
     assert loaded["headline"]["probe_overhead_fraction"] is not None

@@ -6,7 +6,12 @@ Subcommands
 -----------
 ``policies``    list the registered dispatching policies
 ``backends``    list the registered engine backends (round kernels),
-                both the unsized and the sized-engine registries
+                both the unsized and the sized-engine registries, with a
+                capability column (checkpoint/probe/analytic support)
+``compare``     run one (policy, system, load) cell on several backends
+                side by side -- e.g. the finite-n ``fast`` kernel vs the
+                analytical ``meanfield`` fluid limit -- with wall-clock
+                and relative-error columns
 ``probes``      list the registered observability probes (``--metrics``
                 accepts them on ``experiment`` and ``simulate``)
 ``scenarios``   list the registered workload scenarios (``--scenario``
@@ -51,6 +56,8 @@ Examples
     repro experiment --policies jsq sed --backend fast \
         --scenario flash:spike=5,at=2048 --metrics windowed_stability
     repro simulate --policy scd --servers 100 --dispatchers 10 --rho 0.9
+    repro compare --backends fast,meanfield --policy jsq(2) --rho 0.9 \
+        --servers 1000 --replications 3
     repro sweep --policies scd jsq sed --loads 0.7 0.9 0.99 --rounds 5000
     repro runtime --servers 100 200 400
     repro stability --policy jsq(2) --rho 0.95
@@ -95,10 +102,17 @@ from repro.analysis.stability import assess_stability
 from repro.analysis.tables import format_series_table, format_table
 from repro.core.theory import strong_stability_bound
 from repro.policies.base import available_policies
-from repro.sim.backends import backend_descriptions, make_backend
+from repro.sim.backends import (
+    backend_capabilities,
+    backend_descriptions,
+    make_backend,
+)
 from repro.sim.probes import DEFAULT_PROBE_LABELS, ProbeSpec, probe_descriptions
 from repro.sim.sized import BimodalSize, DeterministicSize, GeometricSize
-from repro.sim.sizedbackends import sized_backend_descriptions
+from repro.sim.sizedbackends import (
+    sized_backend_capabilities,
+    sized_backend_descriptions,
+)
 from repro.workloads.scenarios import SystemSpec
 
 __all__ = ["main", "build_parser"]
@@ -148,16 +162,24 @@ def cmd_policies(args: argparse.Namespace) -> int:
 
 def cmd_backends(args: argparse.Namespace) -> int:
     registries = (
-        ("engine backends (unsized jobs)", backend_descriptions()),
-        ("sized engine backends (unit-denominated queues)", sized_backend_descriptions()),
+        ("engine backends (unsized jobs)", backend_descriptions(), backend_capabilities),
+        (
+            "sized engine backends (unit-denominated queues)",
+            sized_backend_descriptions(),
+            sized_backend_capabilities,
+        ),
     )
-    width = max(len(name) for _, d in registries for name in d)
-    for index, (title, descriptions) in enumerate(registries):
+    width = max(len(name) for _, d, _ in registries for name in d)
+    cap_width = max(
+        len(caps(name).describe()) for _, d, caps in registries for name in d
+    )
+    for index, (title, descriptions, caps) in enumerate(registries):
         if index:
             print()
         print(f"{title}:")
         for name, description in descriptions.items():
-            print(f"  {name:<{width}}  {description}")
+            column = caps(name).describe()
+            print(f"  {name:<{width}}  {column:<{cap_width}}  {description}")
     return 0
 
 
@@ -495,6 +517,118 @@ def cmd_stability(args: argparse.Namespace) -> int:
         print(f"SCD provably does): time-averaged total queue <= {bound.bound:.1f}")
         measured = result.queue_series.mean()
         print(f"measured time-averaged total queue: {measured:.1f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    backends = [
+        token for raw in args.backends for token in raw.split(",") if token
+    ]
+    if len(backends) < 2:
+        raise SystemExit(
+            "pass at least two backends to compare, "
+            "e.g. --backends fast meanfield"
+        )
+    system = _system_from(args)
+    workload = _workload_from(args)
+    resolved = []
+    reference = None
+    for backend in backends:
+        try:
+            caps = backend_capabilities(backend)
+        except ValueError as error:
+            raise SystemExit(f"invalid backend {backend!r}: {error}")
+        # Analytic backends are deterministic: one evaluation is exact,
+        # so replications would only repeat the same number.
+        reps = 1 if caps.analytic else args.replications
+        resolved.append((backend, caps, reps))
+        if caps.analytic and reference is None:
+            reference = backend
+    if reference is None:
+        reference = backends[0]
+    records = []
+    for backend, caps, reps in resolved:
+        try:
+            experiment = Experiment(
+                policies=(args.policy,),
+                systems=(system,),
+                loads=(args.rho,),
+                replications=reps,
+                workloads=(workload,),
+                rounds=args.rounds,
+                warmup=args.warmup,
+                base_seed=args.seed,
+                backend=backend,
+            )
+        except ValueError as error:
+            raise SystemExit(f"backend {backend!r} cannot run this cell: {error}")
+        started = time.perf_counter()
+        try:
+            result = experiment.run(keep_results=False)
+        except (RuntimeError, ValueError) as error:
+            raise SystemExit(f"backend {backend!r} failed: {error}")
+        elapsed = time.perf_counter() - started
+        stats = next(iter(result.aggregate("mean").values()))
+        records.append(
+            {
+                "backend": backend,
+                "kind": "analytic" if caps.analytic else "stochastic",
+                "replications": int(stats["n"]),
+                "mean_response_time": stats["mean"],
+                "stderr": stats["stderr"],
+                "wall_seconds": elapsed,
+            }
+        )
+    by_backend = {record["backend"]: record for record in records}
+    baseline = by_backend[reference]["mean_response_time"]
+    for record in records:
+        record["relative_error"] = (
+            abs(record["mean_response_time"] - baseline) / baseline
+            if baseline
+            else 0.0
+        )
+    rows = [
+        [
+            record["backend"],
+            record["kind"],
+            record["replications"],
+            record["mean_response_time"],
+            record["stderr"],
+            record["relative_error"],
+            record["wall_seconds"],
+        ]
+        for record in records
+    ]
+    scenario_note = f", scenario {workload.scenario}" if workload.scenario else ""
+    print(
+        format_table(
+            ["backend", "kind", "reps", "mean", "stderr", "rel_err", "wall_s"],
+            rows,
+            title=f"{args.policy} on {system.name} at rho={args.rho} "
+            f"({args.rounds} rounds, workload {workload.name}{scenario_note}; "
+            f"rel_err vs {reference})",
+        )
+    )
+    if args.save:
+        payload = {
+            "policy": args.policy,
+            "system": {
+                "num_servers": system.num_servers,
+                "num_dispatchers": system.num_dispatchers,
+                "profile": system.profile,
+                "rate_seed": system.rate_seed,
+            },
+            "rho": args.rho,
+            "rounds": args.rounds,
+            "warmup": args.warmup,
+            "seed": args.seed,
+            "workload": workload.describe(),
+            "reference": reference,
+            "backends": records,
+        }
+        path = Path(args.save)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"comparison written to {path}")
     return 0
 
 
@@ -1259,9 +1393,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workload",
         default="paper",
-        help="paper (default) or skew:FACTOR; workloads with custom "
-        "factories (bursty, sized) cannot travel as descriptors -- submit "
-        "those in-process",
+        help="paper (default), skew:FACTOR or bursty:SURGE[:SWITCH_PROB] "
+        "(bursty travels as a registered factory descriptor); sized "
+        "workloads cannot travel as descriptors -- submit those in-process",
     )
     p.add_argument(
         "--scenario",
@@ -1317,6 +1451,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(p)
     _add_run_args(p)
     p.set_defaults(func=cmd_stability)
+
+    p = sub.add_parser(
+        "compare",
+        help="run one cell on several backends side by side "
+        "(finite-n simulation vs the mean-field limit)",
+    )
+    p.add_argument(
+        "--backends",
+        nargs="+",
+        default=["fast", "meanfield"],
+        metavar="BACKEND",
+        help="two or more engine backends (space- or comma-separated); "
+        "analytic backends run once, stochastic ones --replications times; "
+        "see `repro backends` for the capability column",
+    )
+    p.add_argument("--policy", default="jsq(2)")
+    p.add_argument("--rho", type=float, default=0.9)
+    p.add_argument(
+        "--replications",
+        "-r",
+        type=int,
+        default=3,
+        help="replications per stochastic backend (analytic backends are "
+        "deterministic and always run once)",
+    )
+    p.add_argument(
+        "--workload",
+        default="paper",
+        help="paper (default), skew:FACTOR or bursty:SURGE[:SWITCH_PROB]",
+    )
+    p.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help="nonstationary workload scenario applied to every backend "
+        "(see `repro scenarios`); the mean-field backend follows rate "
+        "curves analytically",
+    )
+    p.add_argument("--save", help="write the comparison table as JSON")
+    _add_system_args(p)
+    _add_run_args(p)
+    p.set_defaults(func=cmd_compare)
 
     return parser
 

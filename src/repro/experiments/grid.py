@@ -193,11 +193,25 @@ class Experiment:
         # registry, sized cells through the sized engine registry -- so
         # unknown names fail at construction with the registry's own
         # error message instead of mid-grid on a worker.
-        from repro.sim.backends import make_backend
+        from repro.sim.backends import backend_capabilities, make_backend
         from repro.sim.sizedbackends import make_sized_backend
 
         if any(w.job_sizes is None for w in workloads):
             make_backend(self.backend)
+            # Capability gate: a backend that cannot feed arbitrary
+            # probes (the analytical mean-field engine) must reject
+            # unsupported metrics here, not mid-grid on a worker.
+            caps = backend_capabilities(self.backend)
+            unsupported = [
+                s.label for s in metrics if not caps.allows_probe(s.name)
+            ]
+            if unsupported:
+                allowed = ", ".join(sorted(caps.probe_allowlist)) or "none"
+                raise ValueError(
+                    f"backend {self.backend!r} cannot feed probes "
+                    f"{unsupported} (capabilities: {caps.describe()}; "
+                    f"synthesizable probes: {allowed})"
+                )
         if any(w.job_sizes is not None for w in workloads):
             make_sized_backend(self.backend)
 

@@ -22,6 +22,7 @@ cells to workers: factories are small frozen dataclasses with
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -44,6 +45,9 @@ __all__ = [
     "TraceArrivalFactory",
     "TraceServiceFactory",
     "UnreconstructedFactory",
+    "register_workload_factory",
+    "registered_workload_factories",
+    "workload_factory_from_descriptor",
 ]
 
 #: Name of the paper's default workload; the only name that contributes
@@ -54,6 +58,90 @@ PAPER_WORKLOAD_NAME = "paper"
 ArrivalFactory = Callable[[SystemSpec, float], ArrivalProcess]
 #: Builds a service process for a system.
 ServiceFactory = Callable[[SystemSpec], ServiceProcess]
+
+
+#: Wire-name -> factory class; populated by :func:`register_workload_factory`.
+_WORKLOAD_FACTORIES: dict[str, type] = {}
+#: Factory class -> wire name (the inverse map, used by ``describe``).
+_FACTORY_NAMES: dict[type, str] = {}
+
+
+def register_workload_factory(name: str):
+    """Class decorator giving a workload component factory a wire name.
+
+    Registered factories serialize in experiment descriptors as
+    ``{"factory": NAME, "kwargs": {...}}`` (their dataclass fields are
+    the kwargs) instead of a lossy ``repr``, and reconstruct exactly via
+    :func:`workload_factory_from_descriptor` -- so custom workloads
+    survive the JSON round-trip through ``--save`` files and the service
+    job API (``repro submit --workload bursty:3``).
+    """
+
+    def decorate(cls: type) -> type:
+        key = name.lower()
+        if not dataclasses.is_dataclass(cls):
+            raise TypeError(
+                f"workload factory {cls.__name__} must be a dataclass "
+                f"(its fields are the wire kwargs)"
+            )
+        if key in _WORKLOAD_FACTORIES:
+            raise ValueError(f"duplicate workload factory name {name!r}")
+        _WORKLOAD_FACTORIES[key] = cls
+        _FACTORY_NAMES[cls] = key
+        return cls
+
+    return decorate
+
+
+def registered_workload_factories() -> tuple[str, ...]:
+    """Sorted wire names of every registered workload factory."""
+    return tuple(sorted(_WORKLOAD_FACTORIES))
+
+
+def _freeze(value):
+    """JSON arrays -> tuples, recursively (frozen-dataclass fields)."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def workload_factory_from_descriptor(descriptor: dict):
+    """Rebuild a registered factory from its wire descriptor.
+
+    The inverse of the registry branch of :meth:`WorkloadSpec.describe`;
+    raises ``ValueError`` for unknown names or mismatched kwargs.
+    """
+    name = str(descriptor.get("factory", "")).lower()
+    cls = _WORKLOAD_FACTORIES.get(name)
+    if cls is None:
+        known = ", ".join(registered_workload_factories()) or "none"
+        raise ValueError(
+            f"unknown workload factory {descriptor.get('factory')!r} "
+            f"(registered: {known})"
+        )
+    kwargs = {
+        key: _freeze(value)
+        for key, value in dict(descriptor.get("kwargs", {})).items()
+    }
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for workload factory {name!r}: {error}"
+        )
+
+
+def _describe_component(factory) -> "dict | str":
+    """Wire form of an arrival/service factory.
+
+    A registry descriptor when its class is registered (round-trips
+    exactly), otherwise its ``repr`` (lossy; reloads as
+    :class:`UnreconstructedFactory`).
+    """
+    name = _FACTORY_NAMES.get(type(factory))
+    if name is None:
+        return repr(factory)
+    return {"factory": name, "kwargs": dataclasses.asdict(factory)}
 
 
 @dataclass(frozen=True)
@@ -76,6 +164,7 @@ class UnreconstructedFactory:
         )
 
 
+@register_workload_factory("bursty")
 @dataclass(frozen=True)
 class BurstyArrivalFactory:
     """Markov-modulated Poisson arrivals at equal *average* load.
@@ -98,6 +187,7 @@ class BurstyArrivalFactory:
         )
 
 
+@register_workload_factory("trace_arrivals")
 @dataclass(frozen=True)
 class TraceArrivalFactory:
     """Replays a fixed ``(rounds, dispatchers)`` batch trace."""
@@ -114,6 +204,7 @@ class TraceArrivalFactory:
         return TraceArrivals(trace)
 
 
+@register_workload_factory("trace_service")
 @dataclass(frozen=True)
 class TraceServiceFactory:
     """Replays a fixed ``(rounds, servers)`` capacity trace."""
@@ -281,16 +372,22 @@ class WorkloadSpec:
         return GeometricService(system.rates())
 
     def describe(self) -> dict:
-        """JSON-able descriptor (factories reduce to their repr)."""
+        """JSON-able descriptor.
+
+        Registered arrival/service factories (see
+        :func:`register_workload_factory`) serialize as exact
+        ``{"factory": ..., "kwargs": ...}`` descriptors; unregistered
+        ones and job-size distributions reduce to their (lossy) repr.
+        """
         out: dict = {"name": self.name}
         if self.skew is not None:
             out["skew"] = self.skew
         if self.dispatcher_weights is not None:
             out["dispatcher_weights"] = list(self.dispatcher_weights)
         if self.arrivals is not None:
-            out["arrivals"] = repr(self.arrivals)
+            out["arrivals"] = _describe_component(self.arrivals)
         if self.service is not None:
-            out["service"] = repr(self.service)
+            out["service"] = _describe_component(self.service)
         if self.job_sizes is not None:
             out["job_sizes"] = repr(self.job_sizes)
         if self.scenario is not None:

@@ -1,0 +1,145 @@
+"""Fixed-step explicit integrators with per-step invariant checks.
+
+The mean-field backend uses this to advance the power-of-d arrival ODE
+in within-round job time; the examples use it directly on the combined
+fluid drift.  The integrators are intentionally plain -- fixed-step RK4
+for production, Euler for debugging discretization effects -- because
+the checked invariants, not adaptivity, are what make the results
+trustworthy: every step verifies the state stayed (numerically) inside
+``[0, 1]`` and, when a mass functional is supplied, that the integrated
+mass change is consistent with the step's own flux (conservation).
+
+Tail states additionally need monotonicity (``s_k >= s_{k+1}``); the
+caller passes the model's projection for that, and the projection
+doubles as the stabilizer for the stiff JSQ limit (d -> n), where an
+explicit step can overfill a level by design and the projection is
+exactly the water-filling correction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["InvariantError", "euler_step", "rk4_step", "FixedStepIntegrator"]
+
+#: Integration methods the backend grammar accepts.
+METHODS = ("rk4", "euler")
+
+
+class InvariantError(RuntimeError):
+    """A fluid-state invariant (bounds or conservation) was violated."""
+
+
+def euler_step(f: Callable, t: float, y: np.ndarray, h: float) -> np.ndarray:
+    """One forward-Euler step of ``dy/dt = f(t, y)``."""
+    return y + h * f(t, y)
+
+
+def rk4_step(f: Callable, t: float, y: np.ndarray, h: float) -> np.ndarray:
+    """One classical Runge-Kutta step of ``dy/dt = f(t, y)``."""
+    k1 = f(t, y)
+    k2 = f(t + 0.5 * h, y + 0.5 * h * k1)
+    k3 = f(t + 0.5 * h, y + 0.5 * h * k2)
+    k4 = f(t + h, y + h * k3)
+    return y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+_STEPPERS = {"euler": euler_step, "rk4": rk4_step}
+
+
+class FixedStepIntegrator:
+    """Fixed-step integration with bounds/conservation checks each step.
+
+    Parameters
+    ----------
+    method:
+        ``"rk4"`` or ``"euler"``.
+    dt:
+        Target step size; :meth:`integrate` divides each interval into
+        equal steps no longer than this.
+    bounds_tol:
+        How far below 0 a component may land before the step is
+        declared broken (values within tolerance are clipped).
+    overshoot:
+        How far above 1 a component may *transiently* land before being
+        projected back.  The stiff JSQ limit (d -> n) legitimately
+        overfills the level at the filling front within a step -- the
+        projection is the water-filling correction -- but anything past
+        this slack (or any non-finite value) means the step size is
+        genuinely too large for the drift and the step raises.
+    """
+
+    def __init__(
+        self,
+        method: str = "rk4",
+        dt: float = 0.25,
+        bounds_tol: float = 1e-6,
+        overshoot: float = 0.5,
+    ) -> None:
+        if method not in _STEPPERS:
+            known = ", ".join(sorted(_STEPPERS))
+            raise ValueError(f"unknown integration method {method!r}; known: {known}")
+        if not dt > 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.method = method
+        self.dt = float(dt)
+        self.bounds_tol = float(bounds_tol)
+        self.overshoot = float(overshoot)
+        self._step = _STEPPERS[method]
+
+    def integrate(
+        self,
+        f: Callable,
+        y: np.ndarray,
+        t0: float,
+        t1: float,
+        project: Callable[[np.ndarray], np.ndarray] | None = None,
+        mass: Callable[[np.ndarray], float] | None = None,
+        mass_rate_bound: float = 1.0,
+    ) -> np.ndarray:
+        """Advance ``dy/dt = f(t, y)`` from ``t0`` to ``t1``.
+
+        ``project`` (e.g. the tail-polytope projection) is applied after
+        each step, once the raw step passed the bounds check.  When
+        ``mass`` is given, each step also checks conservation: the mass
+        gained may not exceed ``mass_rate_bound * h`` (plus tolerance)
+        and may not be negative -- for the arrival ODE, jobs enter at
+        unit rate per server and never leave.
+        """
+        if t1 <= t0:
+            return y
+        span = t1 - t0
+        steps = max(1, int(np.ceil(span / self.dt)))
+        h = span / steps
+        tol = self.bounds_tol
+        for i in range(steps):
+            t = t0 + i * h
+            y_new = self._step(f, t, y, h)
+            if not np.all(np.isfinite(y_new)):
+                raise InvariantError(
+                    f"{self.method} step at t={t:.6g} produced non-finite "
+                    f"state (h={h:.3g}); reduce dt"
+                )
+            low = float(y_new.min())
+            high = float(y_new.max())
+            if low < -tol or high > 1.0 + self.overshoot:
+                raise InvariantError(
+                    f"{self.method} step at t={t:.6g} left [0,1]: "
+                    f"min={low:.3e} max={high:.3e} (h={h:.3g}); "
+                    "reduce dt"
+                )
+            y_new = np.clip(y_new, 0.0, 1.0)
+            if project is not None:
+                y_new = project(y_new)
+            if mass is not None:
+                gained = mass(y_new) - mass(y)
+                if gained < -tol or gained > mass_rate_bound * h + tol:
+                    raise InvariantError(
+                        f"{self.method} step at t={t:.6g} broke conservation: "
+                        f"mass change {gained:.3e} outside "
+                        f"[0, {mass_rate_bound * h:.3e}] (h={h:.3g})"
+                    )
+            y = y_new
+        return y

@@ -1,0 +1,348 @@
+"""Fluid-limit algebra for the synchronous-round model.
+
+State convention
+----------------
+The mean-field state is the per-class queue-length tail matrix
+``S[j, k-1] = s_{j,k} = P(a class-j server holds >= k jobs)`` for levels
+``k = 1..K`` (``K`` = truncation depth).  Tails are the right coordinate
+system: every update below maps valid tails (monotone, in ``[0, 1]``) to
+valid tails, and mass pushed past the truncation depth pools in the last
+tail instead of silently vanishing.
+
+Round structure
+---------------
+One engine round is *arrivals then departures*, and the limit object
+inherits that split exactly:
+
+* **Departures** (geometric capacities, mean ``mu_j``) are an *exact
+  linear* map on tails.  With ``beta_j = mu_j / (1 + mu_j)`` (so
+  ``P(C >= k) = beta_j**k``), a server at level ``q`` ends the round at
+  level ``>= k`` with probability ``1 - beta_j**(q-k+1)``, hence
+
+      s'_k  =  s_k - D_k,      D_k = sum_{q>=k} p_q * beta_j**(q-k+1),
+
+  where ``p_q`` is the level pmf.  No integration error, no stiffness:
+  this is probability calculus, valid at any load.
+
+* **Arrivals** depend on the policy:
+
+  - ``random`` (and ``rr``, modeled as a uniform split): each server
+    receives an independent ``Poisson(lambda(t))`` batch, so the round
+    update is the exact convolution of the level pmf with the Poisson
+    tail -- again a linear map, and in fact exact *at every finite n*
+    for the marginal distribution, not just in the limit.
+  - ``jsq(d)`` / ``jsq`` (d -> n): jobs arrive one at a time and each
+    joins the shortest of ``d`` uniform samples of the *current*
+    empirical state, so within a round the tails follow the classical
+    power-of-d ODE in job time ``tau`` (jobs per server, from 0 to
+    ``lambda(t)``):
+
+        ds_{j,k}/dtau = w_k(ybar) * p_{j,k-1},
+        w_k = (ybar_{k-1}**d - ybar_k**d) / (ybar_{k-1} - ybar_k),
+
+    with ``ybar`` the class-mixture tails.  This is Mitzenmacher's
+    drift lifted to heterogeneous classes: ``w_k`` is the probability
+    (per job) that the sampled d-set bottoms out at level ``k-1``, and
+    ``p_{j,k-1} / (ybar_{k-1} - ybar_k)`` is class j's share of that
+    level.  The backend integrates it with the fixed-step RK4/Euler
+    integrator.
+
+Heterogeneity enters only through the class decomposition: a rate
+vector with ``n`` distinct entries is quantized into at most
+``max_classes`` rate bins (:class:`ServerClasses`), after which every
+cost below is independent of ``n`` -- the whole point of the backend.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ServerClasses",
+    "FluidModel",
+    "arrival_choices_for_policy",
+    "SUPPORTED_POLICY_FORMS",
+]
+
+#: Policy-name forms the fluid model covers, for error messages / docs.
+SUPPORTED_POLICY_FORMS = ("random", "rr", "jsq", "jsq(d)")
+
+_POWER_OF_D = re.compile(r"^jsq\((\d+)\)$")
+
+
+def arrival_choices_for_policy(policy_name: str, num_servers: int) -> int | None:
+    """Map a registered policy name to its arrival regime.
+
+    Returns ``None`` for the Poisson-split regime (``random``; ``rr`` is
+    modeled as a uniform split, honest for mean behavior), the sample
+    count ``d`` for ``jsq(d)``, and ``num_servers`` for full ``jsq``
+    (the d -> n limit).  Raises :class:`ValueError` for policies whose
+    drift the fluid model does not have (rate-aware samplers like
+    ``hjsq``/``sed``/``wr`` weight servers by identity, which the
+    exchangeable-within-class limit cannot represent).
+    """
+    name = policy_name.lower()
+    if name in ("random", "rr"):
+        return None
+    if name == "jsq":
+        return num_servers
+    match = _POWER_OF_D.match(name)
+    if match:
+        d = int(match.group(1))
+        if d < 1:
+            raise ValueError(f"power-of-d policy needs d >= 1, got {policy_name!r}")
+        return min(d, num_servers)
+    supported = ", ".join(SUPPORTED_POLICY_FORMS)
+    raise ValueError(
+        f"mean-field backend has no fluid drift for policy {policy_name!r}; "
+        f"supported policies: {supported}"
+    )
+
+
+@dataclass(frozen=True)
+class ServerClasses:
+    """Heterogeneous rate vector quantized into exchangeable classes."""
+
+    #: Per-class mean service capacity (jobs/round), shape ``(J,)``.
+    mu: np.ndarray
+    #: Class weights (fraction of servers), shape ``(J,)``, sums to 1.
+    gamma: np.ndarray
+    #: Total servers represented.
+    num_servers: int
+    #: Class index of every server, shape ``(n,)`` -- used to expand
+    #: per-class summaries back to per-server arrays for probes.
+    class_of: np.ndarray
+
+    @classmethod
+    def from_rates(cls, rates: np.ndarray, max_classes: int = 16) -> "ServerClasses":
+        """Group servers by rate, quantizing to at most ``max_classes`` bins.
+
+        Exact grouping when the vector has few distinct rates (the u2 /
+        u3 profiles); otherwise equal-population bins over the sorted
+        rates with the bin mean as the class rate (the continuous u1
+        profiles), which preserves the aggregate service capacity of
+        every bin.
+        """
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.ndim != 1 or rates.size == 0:
+            raise ValueError("rates must be a non-empty 1-D vector")
+        if np.any(rates <= 0):
+            raise ValueError("mean-field classes need strictly positive rates")
+        if max_classes < 1:
+            raise ValueError(f"max_classes must be >= 1, got {max_classes}")
+        n = rates.size
+        unique = np.unique(rates)
+        if unique.size <= max_classes:
+            class_of = np.searchsorted(unique, rates)
+            mu = unique
+        else:
+            order = np.argsort(rates, kind="stable")
+            # Equal-population contiguous bins over the sorted rates.
+            bin_of_sorted = (
+                np.arange(n, dtype=np.int64) * max_classes // n
+            )
+            class_of = np.empty(n, dtype=np.int64)
+            class_of[order] = bin_of_sorted
+            mu = np.array(
+                [rates[class_of == j].mean() for j in range(max_classes)]
+            )
+        counts = np.bincount(class_of, minlength=mu.size).astype(np.float64)
+        return cls(
+            mu=mu,
+            gamma=counts / n,
+            num_servers=n,
+            class_of=class_of.astype(np.int64),
+        )
+
+    @property
+    def num_classes(self) -> int:
+        return self.mu.size
+
+    def expand(self, per_class: np.ndarray) -> np.ndarray:
+        """Broadcast a per-class vector back to a per-server vector."""
+        return np.asarray(per_class)[self.class_of]
+
+
+class FluidModel:
+    """The per-round fluid maps for one (classes, depth, policy) triple."""
+
+    def __init__(
+        self,
+        classes: ServerClasses,
+        depth: int = 128,
+        choices: int | None = None,
+    ) -> None:
+        if depth < 2:
+            raise ValueError(f"truncation depth must be >= 2, got {depth}")
+        if choices is not None and choices < 1:
+            raise ValueError(f"choices must be >= 1 when given, got {choices}")
+        self.classes = classes
+        self.depth = int(depth)
+        self.choices = choices
+        self.beta = classes.mu / (1.0 + classes.mu)
+        # Departure operator: M[j, k-1, q] = beta_j**(q-k+1) for q >= k
+        # (levels q = 0..K as pmf columns, target tails k = 1..K), so
+        # D = M @ pmf is the full departure flux in one batched matmul.
+        K = self.depth
+        k_idx = np.arange(1, K + 1)[:, None]  # (K, 1)
+        q_idx = np.arange(0, K + 1)[None, :]  # (1, K+1)
+        expo = q_idx - k_idx + 1  # (K, K+1)
+        valid = expo >= 1
+        expo_safe = np.where(valid, expo, 0)
+        self._dep = np.where(
+            valid[None, :, :],
+            self.beta[:, None, None] ** expo_safe[None, :, :],
+            0.0,
+        )  # (J, K, K+1)
+
+    # ------------------------------------------------------------------
+    # state helpers
+    def empty_state(self) -> np.ndarray:
+        """All servers idle: every tail fraction zero."""
+        return np.zeros((self.classes.num_classes, self.depth))
+
+    def pmf(self, S: np.ndarray) -> np.ndarray:
+        """Level pmf ``(J, K+1)`` for levels ``0..K`` (level K pools >= K)."""
+        J, K = S.shape
+        p = np.empty((J, K + 1))
+        p[:, 0] = 1.0 - S[:, 0]
+        p[:, 1:K] = S[:, : K - 1] - S[:, 1:]
+        p[:, K] = S[:, K - 1]
+        return p
+
+    def mixture_tails(self, S: np.ndarray) -> np.ndarray:
+        """Mixture tails ``ybar_k`` for ``k = 0..K`` (``ybar_0 = 1``)."""
+        Y = np.empty(self.depth + 1)
+        Y[0] = 1.0
+        Y[1:] = self.classes.gamma @ S
+        return Y
+
+    def mean_queue_per_server(self, S: np.ndarray) -> float:
+        """Mixture mean queue length per server (jobs)."""
+        return float(self.classes.gamma @ S.sum(axis=1))
+
+    def project(self, S: np.ndarray) -> np.ndarray:
+        """Clip to the valid tail polytope: ``1 >= s_1 >= ... >= s_K >= 0``."""
+        S = np.clip(S, 0.0, 1.0)
+        return np.minimum.accumulate(S, axis=1)
+
+    # ------------------------------------------------------------------
+    # departures (exact linear round map)
+    def departure_flux(self, S: np.ndarray) -> np.ndarray:
+        """Per-class per-level departure probability mass this round."""
+        return np.einsum("jkq,jq->jk", self._dep, self.pmf(S))
+
+    def depart(self, S: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One exact departure phase; returns ``(S_new, flux)``."""
+        D = self.departure_flux(S)
+        return self.project(S - D), D
+
+    # ------------------------------------------------------------------
+    # arrivals, Poisson-split regime (exact round map)
+    def poisson_tail(self, a: float) -> np.ndarray:
+        """``T[i-1] = P(Poisson(a) >= i)`` for ``i = 1..K``."""
+        K = self.depth
+        if a <= 0.0:
+            return np.zeros(K)
+        terms = np.empty(K)
+        terms[0] = np.exp(-a)
+        if K > 1:
+            terms[1:] = a / np.arange(1, K)
+            terms = np.cumprod(terms)
+        return np.clip(1.0 - np.cumsum(terms), 0.0, 1.0)
+
+    def apply_poisson_arrivals(
+        self, S: np.ndarray, a: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One exact Poisson(``a``)-batch arrival phase.
+
+        Returns ``(S_new, joins)`` where ``joins[j, k-1]`` is the
+        expected number of jobs (per class-j server) that landed at
+        queue position ``k`` this round -- exactly the tail increment
+        ``s'_k - s_k``, which is what the response-time synthesis needs.
+        """
+        if a <= 0.0:
+            return S, np.zeros_like(S)
+        K = self.depth
+        p = self.pmf(S)
+        # kernel[i] = P(A >= i) with kernel[0] = 0, so the convolution
+        # sum_{q < k} p_q * P(A >= k - q) is conv(p, kernel)[k].
+        kernel = np.empty(K + 1)
+        kernel[0] = 0.0
+        kernel[1:] = self.poisson_tail(a)
+        inc = np.empty_like(S)
+        for j in range(p.shape[0]):
+            inc[j] = np.convolve(p[j], kernel)[1 : K + 1]
+        return self.project(S + inc), inc
+
+    # ------------------------------------------------------------------
+    # arrivals, full-JSQ regime (exact water-filling round map)
+    def apply_waterfill_arrivals(
+        self, S: np.ndarray, a: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One exact sequential-JSQ arrival phase (the d -> n limit).
+
+        Each job joins a current-minimum queue, so ``a`` jobs per server
+        water-fill the profile: find the largest integer level ``L``
+        whose cumulative deficit ``sum_{k<=L} (1 - ybar_k)`` fits in
+        ``a``, raise every server below ``L`` to ``L``, and spend the
+        remainder lifting level ``L+1`` -- split across classes by
+        their share of the servers sitting at the waterline.  Exact,
+        conservative (up to truncation) and stiffness-free, which the
+        explicit ODE in this regime is not.
+        """
+        if a <= 0.0:
+            return S, np.zeros_like(S)
+        K = self.depth
+        Y = self.mixture_tails(S)[1:]  # ybar_k for k = 1..K
+        deficit = np.concatenate(([0.0], np.cumsum(1.0 - Y)))  # index L = 0..K
+        L = int(np.searchsorted(deficit, a, side="right") - 1)
+        S_new = S.copy()
+        if L >= K:
+            # More mass than the truncation can level; saturate.
+            S_new[:, :] = 1.0
+            return S_new, S_new - S
+        S_new[:, :L] = 1.0
+        remainder = a - deficit[L]
+        if remainder > 0.0 and L < K:
+            # Servers at the waterline (exactly L after leveling):
+            # class share 1 - s_{j,L+1}; mixture share 1 - ybar_{L+1}.
+            at_line = 1.0 - S_new[:, L]
+            total = float(self.classes.gamma @ at_line)
+            if total > 1e-15:
+                S_new[:, L] += remainder * at_line / total
+        S_new = self.project(S_new)
+        return S_new, S_new - S
+
+    # ------------------------------------------------------------------
+    # arrivals, power-of-d choice regime (job-time ODE drift)
+    def arrival_drift(self, S: np.ndarray) -> np.ndarray:
+        """``ds/dtau`` at unit job rate per server (power-of-d regime)."""
+        if self.choices is None:
+            raise ValueError("arrival_drift needs a power-of-d model (choices set)")
+        d = self.choices
+        K = self.depth
+        Y = self.mixture_tails(S)
+        hi, lo = Y[:-1], Y[1:]
+        denom = hi - lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            w = np.where(
+                denom > 1e-12,
+                (hi**d - lo**d) / np.where(denom > 1e-12, denom, 1.0),
+                d * np.where(hi > 0.0, hi, 0.0) ** (d - 1),
+            )
+        p_below = self.pmf(S)[:, :K]  # p_{j, k-1} for k = 1..K
+        return w[None, :] * p_below
+
+    def drift(self, S: np.ndarray, rate: float) -> np.ndarray:
+        """Continuous-time net drift ``rate * A(S) - D(S)`` (jobs/round).
+
+        The backend itself advances the *split* round maps (exact
+        departures, phase-ordered arrivals); this combined form is the
+        classical fluid ODE used by the fixed-point analysis in
+        :mod:`examples` and by drift-level unit tests.
+        """
+        return rate * self.arrival_drift(S) - self.departure_flux(S)

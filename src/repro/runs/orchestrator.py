@@ -64,6 +64,17 @@ class LegLimitReached(Exception):
     """
 
 
+def _backend_capabilities(engine: str, backend: str):
+    """Capability flags from the registry matching the sim's engine."""
+    if engine == "sized":
+        from repro.sim.sizedbackends import sized_backend_capabilities
+
+        return sized_backend_capabilities(backend)
+    from repro.sim.backends import backend_capabilities
+
+    return backend_capabilities(backend)
+
+
 def _describe_sim(sim) -> dict:
     """Manifest-facing description of either engine's simulation."""
     if isinstance(sim, SizedSimulation):
@@ -247,6 +258,14 @@ class Run:
             raise ValueError("checkpoint_every must be >= 1")
         if keep is not None and int(keep) < 1:
             raise ValueError("keep must be >= 1")
+        described = _describe_sim(sim)
+        caps = _backend_capabilities(described["engine"], described["backend"])
+        if not caps.supports_checkpoint:
+            raise ValueError(
+                f"backend {described['backend']!r} does not support "
+                f"checkpoint/resume (capabilities: {caps.describe()}); "
+                f"run it directly instead of through a run directory"
+            )
         run = cls(directory)
         if run.manifest_path.exists():
             raise FileExistsError(

@@ -68,6 +68,24 @@ def validate_submittable(experiment: Experiment) -> None:
                     f"not survive the JSON round-trip; submit experiments "
                     f"with custom factories in-process, not by descriptor"
                 )
+    # Federated cells execute under checkpointing runs (leases hand work
+    # between workers mid-cell), so a backend outside the checkpoint
+    # path cannot be scheduled by the service at all.  Resolve against
+    # the registry the experiment's workloads actually use.
+    from repro.sim.backends import backend_capabilities
+    from repro.sim.sizedbackends import sized_backend_capabilities
+
+    if any(w.job_sizes is None for w in experiment.workloads):
+        caps = backend_capabilities(experiment.backend)
+    else:
+        caps = sized_backend_capabilities(experiment.backend)
+    if not caps.supports_checkpoint:
+        raise ValueError(
+            f"backend {experiment.backend!r} does not support "
+            f"checkpoint/resume (capabilities: {caps.describe()}) and "
+            f"cannot run under the federated service; execute it "
+            f"locally (it is cheap by construction)"
+        )
 
 
 class _Job:

@@ -12,11 +12,61 @@ shapes) and a fourth registry costs one instantiation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["BackendRegistry"]
+__all__ = ["BackendCapabilities", "BackendRegistry"]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one engine backend can honestly promise.
+
+    The simulation kernels (reference/fast/compiled/sharded, both
+    engines) checkpoint at block boundaries and feed every registered
+    probe, so the default flags are all-True and nothing changes for
+    them.  Analytical backends (the mean-field fluid engine) have no
+    RNG streams, no block-aligned kernel state and no discrete events,
+    so they declare themselves out of the checkpoint path and restrict
+    probes to the summaries they can synthesize from their own state.
+    ``Experiment`` construction, ``Run.create`` and the service's
+    submission validator consult these flags to fail fast instead of
+    mid-run.
+    """
+
+    #: The kernel exports block-aligned state (``repro run`` / resume /
+    #: federated execution all require this).
+    supports_checkpoint: bool = True
+    #: The kernel feeds arbitrary registered probes with discrete
+    #: events.  When False only :attr:`probe_allowlist` names work.
+    supports_probes: bool = True
+    #: Probe names honored even when :attr:`supports_probes` is False
+    #: (the backend synthesizes their summaries itself).
+    probe_allowlist: frozenset[str] = field(default_factory=frozenset)
+    #: Deterministic analytical solution: seeds and replications do not
+    #: change the result (``repro compare`` runs one rep instead of an
+    #: ensemble).
+    analytic: bool = False
+
+    def allows_probe(self, name: str) -> bool:
+        """True when the backend can feed (or synthesize) probe ``name``."""
+        return self.supports_probes or name in self.probe_allowlist
+
+    def describe(self) -> str:
+        """Compact capability column for ``repro backends`` listings."""
+        parts = [
+            "checkpoint" if self.supports_checkpoint else "no-checkpoint",
+            "probes" if self.supports_probes else (
+                "probes:" + "+".join(sorted(self.probe_allowlist))
+                if self.probe_allowlist
+                else "no-probes"
+            ),
+        ]
+        if self.analytic:
+            parts.append("analytic")
+        return ",".join(parts)
 
 
 class BackendRegistry(Generic[T]):
@@ -102,3 +152,18 @@ class BackendRegistry(Generic[T]):
             name: self._factories[name].description
             for name in sorted(self._factories)
         }
+
+    def capabilities(self, spec: "str | T") -> BackendCapabilities:
+        """Capability flags for a backend name, parameter suffixes included.
+
+        Works without instantiating (``capabilities`` is a classmethod
+        on the base classes), so listings and validators can ask about
+        every registered name cheaply.  Instances answer for themselves.
+        """
+        if isinstance(spec, self._base):
+            return spec.capabilities()
+        key = spec.lower()
+        head = key if key in self._factories else key.partition(":")[0]
+        if head not in self._factories:
+            self.factory(spec)  # raise the canonical unknown-name error
+        return self._factories[head].capabilities()

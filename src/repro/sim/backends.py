@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ._registry import BackendRegistry
+from ._registry import BackendCapabilities, BackendRegistry
 from .batchstore import BatchQueueStore
 from .blockdriver import (
     BLOCK_ROUNDS,
@@ -63,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine resolves us)
     from .engine import Simulation, SimulationResult
 
 __all__ = [
+    "BackendCapabilities",
     "EngineBackend",
     "ReferenceBackend",
     "FastBackend",
@@ -70,6 +71,7 @@ __all__ = [
     "make_backend",
     "available_backends",
     "backend_descriptions",
+    "backend_capabilities",
 ]
 
 
@@ -94,6 +96,16 @@ class EngineBackend(ABC):
         exportable state.
         """
 
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """Capability flags (checkpointing, probes) this backend honors.
+
+        The simulation kernels inherit the all-True defaults; analytical
+        backends override this to declare what they genuinely support so
+        experiments and runs can fail fast at construction.
+        """
+        return BackendCapabilities()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
 
@@ -110,6 +122,8 @@ make_backend = _REGISTRY.make
 available_backends = _REGISTRY.available
 #: Name -> one-line description, for CLI listings.
 backend_descriptions = _REGISTRY.descriptions
+#: Capability flags for a backend name (or instance), without building it.
+backend_capabilities = _REGISTRY.capabilities
 
 
 def _make_result(sim: "Simulation", **kwargs) -> "SimulationResult":
@@ -401,3 +415,4 @@ class FastBackend(EngineBackend):
 # above exists when it does.
 from . import sharding  # noqa: E402,F401  (registration side effect)
 from . import compiled  # noqa: E402,F401  (registration side effect)
+from ..meanfield import backend as _meanfield  # noqa: E402,F401  (registration side effect)

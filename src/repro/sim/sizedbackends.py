@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ._registry import BackendRegistry
+from ._registry import BackendCapabilities, BackendRegistry
 from .batchstore import SizedBatchQueueStore
 from .blockdriver import (
     BLOCK_ROUNDS,
@@ -75,6 +75,7 @@ __all__ = [
     "make_sized_backend",
     "available_sized_backends",
     "sized_backend_descriptions",
+    "sized_backend_capabilities",
 ]
 
 
@@ -97,6 +98,15 @@ class SizedEngineBackend(ABC):
         :meth:`repro.sim.backends.EngineBackend.run`.
         """
 
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        """Capability flags, as in :meth:`EngineBackend.capabilities`.
+
+        Every sized kernel checkpoints and feeds all probes, so the
+        all-True defaults stand for the whole family today.
+        """
+        return BackendCapabilities()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
 
@@ -113,6 +123,8 @@ make_sized_backend = _REGISTRY.make
 available_sized_backends = _REGISTRY.available
 #: Name -> one-line description, for CLI listings.
 sized_backend_descriptions = _REGISTRY.descriptions
+#: Capability flags for a sized backend name (or instance).
+sized_backend_capabilities = _REGISTRY.capabilities
 
 
 def _make_result(sim: "SizedSimulation", **kwargs) -> "SizedSimulationResult":

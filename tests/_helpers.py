@@ -1,4 +1,4 @@
-"""Shared hypothesis strategies for the test suite.
+"""Shared hypothesis strategies and statistical assertions for the suite.
 
 A plain helper module (not a conftest) so test files can ``from _helpers
 import ...`` without depending on pytest's conftest import machinery --
@@ -8,10 +8,57 @@ importing from ``conftest`` breaks when another rootdir directory (e.g.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from hypothesis import strategies as st
 
-__all__ = ["server_instances", "dispatch_instances"]
+__all__ = [
+    "server_instances",
+    "dispatch_instances",
+    "ensemble_tolerance",
+    "assert_ensemble_close",
+]
+
+
+def ensemble_tolerance(n: int, base: float = 1.0, floor: float = 0.01) -> float:
+    """Relative tolerance for an ``n``-sample ensemble vs a prediction.
+
+    Sampling error of an ensemble mean shrinks like ``1/sqrt(n)``, so
+    the tolerance is ``floor + base / sqrt(n)``: bigger ensembles (or
+    bigger simulated systems) must match their analytical prediction
+    *more* tightly, while ``floor`` absorbs model error that does not
+    vanish with ``n`` (e.g. the O(1/n) finite-system gap to a
+    mean-field limit, or histogram discretization).
+    """
+    if n < 1:
+        raise ValueError("ensemble size must be >= 1")
+    return floor + base / math.sqrt(n)
+
+
+def assert_ensemble_close(
+    observed: float,
+    predicted: float,
+    *,
+    n: int,
+    base: float = 1.0,
+    floor: float = 0.01,
+    label: str = "ensemble mean",
+) -> None:
+    """Assert an empirical ensemble statistic matches a prediction.
+
+    The shared check for every "simulation agrees with theory" test:
+    second-moment formulas (``test_theory``), fluid-limit parity
+    (``test_meanfield``).  Relative error is measured against the
+    prediction; tolerance comes from :func:`ensemble_tolerance`.
+    """
+    scale = max(abs(float(predicted)), 1e-12)
+    error = abs(float(observed) - float(predicted)) / scale
+    tolerance = ensemble_tolerance(n, base=base, floor=floor)
+    assert error <= tolerance, (
+        f"{label}: observed {observed!r} vs predicted {predicted!r} -> "
+        f"relative error {error:.4f} > tolerance {tolerance:.4f} (n={n})"
+    )
 
 
 @st.composite

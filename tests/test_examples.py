@@ -94,6 +94,17 @@ def test_probes_tour():
     assert "worst spike" in out
 
 
+def test_nonmonotone_stability():
+    out = run_example(
+        "nonmonotone_stability.py",
+        "--choices", "1", "2", "--iters", "4", "--horizon", "250",
+    )
+    assert "closed-form d=1 anchor" in out
+    assert "anchor checks passed" in out
+    assert "rho*(d)" in out
+    assert "verdict:" in out
+
+
 def test_flash_crowd():
     out = run_example("flash_crowd.py", "--rounds", "1024")
     assert "scenario flash:spike=" in out

@@ -341,15 +341,32 @@ class TestPersistence:
         with pytest.raises(ValueError):
             experiment_result_from_dict({"kind": "nope", "format_version": 1})
 
-    def test_loaded_factory_workload_rerun_fails_loudly(self):
-        """Factories do not survive JSON; re-running must raise, not
-        silently simulate the default workload under the old name."""
+    def test_loaded_registered_factory_workload_reruns(self):
+        """Registered factories survive JSON: a loaded bursty experiment
+        re-runs and reproduces the original records exactly."""
         result = Experiment(
             policies="scd",
             systems=SMALL,
             loads=0.8,
             rounds=100,
             workloads=WorkloadSpec.bursty(3.0),
+        ).run(keep_results=False)
+        loaded = experiment_result_from_dict(experiment_result_to_dict(result))
+        assert loaded.records == result.records  # records stay usable
+        assert loaded.experiment == result.experiment
+        rerun = loaded.experiment.run(keep_results=False)
+        assert rerun.records == result.records
+
+    def test_loaded_unregistered_workload_rerun_fails_loudly(self):
+        """Components without a registry entry (job-size distributions)
+        do not survive JSON; re-running must raise, not silently
+        simulate the default workload under the old name."""
+        result = Experiment(
+            policies="scd",
+            systems=SMALL,
+            loads=0.8,
+            rounds=100,
+            workloads=WorkloadSpec.sized(GeometricSize(mean_size=2.0)),
         ).run(keep_results=False)
         loaded = experiment_result_from_dict(experiment_result_to_dict(result))
         assert loaded.records == result.records  # records stay usable

@@ -278,6 +278,9 @@ class TestJobManager:
         reborn.close()
 
     def test_lossy_workloads_rejected_at_submission(self, tmp_path):
+        manager = JobManager(tmp_path)
+        # Registered factories survive the descriptor round-trip, so a
+        # rebuilt bursty experiment submits like the original object.
         bursty = Experiment(
             policies=["jsq"],
             systems=SYSTEM,
@@ -288,13 +291,26 @@ class TestJobManager:
             ),
         )
         rebuilt = experiment_from_descriptor(bursty.describe())
+        assert rebuilt == bursty
+        manager.submit(rebuilt)
+        # Job-size distributions have no registry entry: still lossy,
+        # still rejected loudly at the API boundary.
+        from repro.sim.sized import GeometricSize
+
+        sized = Experiment(
+            policies=["jsq"],
+            systems=SYSTEM,
+            loads=[0.9],
+            rounds=300,
+            workloads=(WorkloadSpec.sized(GeometricSize(mean_size=2.0)),),
+        )
+        rebuilt_sized = experiment_from_descriptor(sized.describe())
         with pytest.raises(ValueError, match="round-trip"):
-            validate_submittable(rebuilt)
-        manager = JobManager(tmp_path)
+            validate_submittable(rebuilt_sized)
         with pytest.raises(ValueError, match="round-trip"):
-            manager.submit(rebuilt)
+            manager.submit(rebuilt_sized)
         # the original object (factories intact) submits fine in-process
-        manager.submit(bursty)
+        manager.submit(sized)
         manager.close()
 
     def test_checkpoint_cache_keeps_only_retained_rounds(self, tmp_path):
@@ -531,7 +547,27 @@ class TestServiceAPI:
         assert excinfo.value.code == 400
 
     def test_lossy_descriptor_is_a_400(self, service):
+        from repro.sim.sized import GeometricSize
+
         _manager, _coordinator, api = service
+        # Job-size distributions have no factory registry entry, so the
+        # descriptor is lossy and the API must refuse it.
+        sized = Experiment(
+            policies=["jsq"],
+            systems=SYSTEM,
+            loads=[0.9],
+            rounds=300,
+            workloads=(WorkloadSpec.sized(GeometricSize(mean_size=2.0)),),
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(api.url, sized.describe())
+        assert excinfo.value.code == 400
+        assert "round-trip" in str(excinfo.value)
+
+    def test_registered_factory_descriptor_submits(self, service):
+        _manager, _coordinator, api = service
+        # Registered factories survive the wire: bursty submits by
+        # descriptor now instead of 400ing at the boundary.
         bursty = Experiment(
             policies=["jsq"],
             systems=SYSTEM,
@@ -541,10 +577,8 @@ class TestServiceAPI:
                 WorkloadSpec(name="bursty", arrivals=BurstyArrivalFactory()),
             ),
         )
-        with pytest.raises(ServiceError) as excinfo:
-            submit_job(api.url, bursty.describe())
-        assert excinfo.value.code == 400
-        assert "round-trip" in str(excinfo.value)
+        created = submit_job(api.url, bursty.describe())
+        assert created["job"].startswith("job-")
 
     def test_unknown_job_is_a_404(self, service):
         _manager, _coordinator, api = service

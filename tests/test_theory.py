@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from _helpers import assert_ensemble_close
 
 from repro.analysis.runner import ExperimentConfig, run_simulation
 from repro.core.theory import (
@@ -23,7 +24,12 @@ class TestSecondMoments:
     def test_poisson_empirical(self):
         rng = np.random.default_rng(0)
         draws = rng.poisson(5.0, size=200_000).astype(float)
-        assert np.mean(draws**2) == pytest.approx(poisson_second_moment(5.0), rel=0.02)
+        assert_ensemble_close(
+            np.mean(draws**2),
+            poisson_second_moment(5.0),
+            n=draws.size,
+            label="Poisson second moment",
+        )
 
     def test_geometric_formula(self):
         assert geometric_second_moment(1.0) == pytest.approx(3.0)
@@ -32,10 +38,43 @@ class TestSecondMoments:
         mu = 4.0
         rng = np.random.default_rng(1)
         draws = (rng.geometric(1.0 / (1.0 + mu), size=200_000) - 1).astype(float)
-        assert np.mean(draws) == pytest.approx(mu, rel=0.02)
-        assert np.mean(draws**2) == pytest.approx(
-            geometric_second_moment(mu), rel=0.02
+        assert_ensemble_close(
+            np.mean(draws), mu, n=draws.size, label="geometric mean"
         )
+        assert_ensemble_close(
+            np.mean(draws**2),
+            geometric_second_moment(mu),
+            n=draws.size,
+            label="geometric second moment",
+        )
+
+    def test_geometric_empirical_heterogeneous_rates(self):
+        # The formula is per-server: a heterogeneous rate vector must
+        # match element-wise, not just on the pooled average.
+        mus = np.array([0.5, 1.0, 4.0, 32.0])
+        rng = np.random.default_rng(2)
+        for mu in mus:
+            draws = (
+                rng.geometric(1.0 / (1.0 + mu), size=400_000) - 1
+            ).astype(float)
+            assert_ensemble_close(
+                np.mean(draws**2),
+                geometric_second_moment(mu),
+                n=draws.size,
+                base=4.0,  # heavier tail at large mu needs more slack
+                label=f"geometric second moment (mu={mu})",
+            )
+        np.testing.assert_allclose(
+            geometric_second_moment(mus),
+            np.array([geometric_second_moment(float(m)) for m in mus]),
+        )
+
+    def test_extreme_rate_spread_stays_finite(self):
+        # 1e-6 .. 1e6 rate spread: formulas stay finite and positive.
+        mus = np.array([1e-6, 1e-3, 1.0, 1e3, 1e6])
+        second = geometric_second_moment(mus)
+        assert np.all(np.isfinite(second)) and np.all(second > 0)
+        assert np.all(second >= mus**2)  # E[X^2] >= (E[X])^2
 
 
 class TestBound:
